@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Warmup ablation (paper Section III-F): the paper warms each region
+ * from the start of the application "to minimize warmup error". This
+ * sweep quantifies what that buys by simulating the same looppoints
+ * with three warmup policies:
+ *
+ *   full  — functional warming from the application start (paper);
+ *   limited(W) — warm only the last ~W instructions before the region;
+ *   none  — cold caches and predictors at the region start.
+ *
+ * Flags: --app=NAME (default 619.lbm_s.1 — memory-bound, most
+ * warmup-sensitive), --quick
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/looppoint.hh"
+#include "sim/multicore.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workload/descriptor.hh"
+
+using namespace looppoint;
+
+namespace {
+
+enum class Warmup
+{
+    Full,
+    Limited,
+    None
+};
+
+/**
+ * Simulate one region under a warmup policy. For Limited, the
+ * unwarmed prefix length is estimated from the profile's slice sizes
+ * (slices tile the execution).
+ */
+SimMetrics
+simulateWithWarmup(const Program &prog, const LoopPointOptions &opts,
+                   const LoopPointResult &lp,
+                   const LoopPointRegion &region, Warmup mode,
+                   uint64_t warm_instrs)
+{
+    ExecConfig cfg;
+    cfg.numThreads = opts.numThreads;
+    cfg.waitPolicy = opts.waitPolicy;
+    cfg.seed = opts.seed;
+    SimConfig sim_cfg;
+    MulticoreSim sim(prog, cfg, sim_cfg);
+
+    auto pc_index = buildPcIndex(prog);
+    BlockId start_block = kInvalidBlock;
+    if (region.start.pc != 0)
+        start_block = pc_index.at(region.start.pc);
+
+    if (start_block != kInvalidBlock && region.start.count > 0) {
+        auto at_start = [&] {
+            return sim.engine().blockExecCount(start_block) >=
+                   region.start.count;
+        };
+        switch (mode) {
+          case Warmup::Full:
+            sim.fastForward(at_start, /*warm=*/true);
+            break;
+          case Warmup::None:
+            sim.fastForward(at_start, /*warm=*/false);
+            break;
+          case Warmup::Limited: {
+            // Estimated global icount at region start = sum of the
+            // preceding slices' total instructions.
+            uint64_t start_icount = 0;
+            for (uint32_t i = 0; i < region.sliceIndex; ++i)
+                start_icount += lp.slices[i].totalIcount;
+            uint64_t cold_until = start_icount > warm_instrs
+                                      ? start_icount - warm_instrs
+                                      : 0;
+            sim.fastForward(
+                [&] {
+                    return sim.engine().globalIcount() >= cold_until ||
+                           at_start();
+                },
+                /*warm=*/false);
+            sim.fastForward(at_start, /*warm=*/true);
+            break;
+          }
+        }
+    }
+    if (region.end.pc == 0)
+        return sim.runDetailed();
+    BlockId end_block = pc_index.at(region.end.pc);
+    return sim.runDetailed([&] {
+        return sim.engine().blockExecCount(end_block) >=
+               region.end.count;
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    setQuiet(true);
+    std::vector<std::string> apps;
+    std::string only = args.get("app");
+    if (!only.empty()) {
+        apps.push_back(only);
+    } else {
+        apps = {"619.lbm_s.1", "603.bwaves_s.1"};
+        if (!args.has("quick"))
+            apps.push_back("649.fotonik3d_s.1");
+    }
+
+    bench::printHeader("Warmup ablation: runtime prediction error% "
+                       "per warmup policy (train, 8 threads, passive)");
+    std::printf("%-22s | %10s | %12s | %10s\n", "application", "full",
+                "limited-400K", "none");
+    bench::printRule();
+
+    for (const auto &name : apps) {
+        const AppDescriptor &app = findApp(name);
+        const uint32_t threads = app.effectiveThreads(8);
+        Program prog = generateProgram(app, InputClass::Train);
+        LoopPointOptions opts;
+        opts.numThreads = threads;
+        LoopPointPipeline pipe(prog, opts);
+        LoopPointResult lp = pipe.analyze();
+        SimConfig sim_cfg;
+        SimMetrics full_run = pipe.simulateFull(sim_cfg);
+
+        std::printf("%-22s |", name.c_str());
+        for (Warmup mode :
+             {Warmup::Full, Warmup::Limited, Warmup::None}) {
+            std::vector<SimMetrics> metrics;
+            for (const auto &region : lp.regions)
+                metrics.push_back(simulateWithWarmup(
+                    prog, opts, lp, region, mode, 400'000));
+            MetricPrediction pred =
+                extrapolateMetrics(lp, metrics, sim_cfg);
+            double err = absRelErrorPct(pred.runtimeSeconds,
+                                        full_run.runtimeSeconds);
+            if (mode == Warmup::Limited)
+                std::printf(" %12.2f |", err);
+            else if (mode == Warmup::Full)
+                std::printf(" %10.2f |", err);
+            else
+                std::printf(" %10.2f", err);
+        }
+        std::printf("\n");
+    }
+    bench::printRule();
+    std::printf("\nexpected shape: full warmup (the paper's choice) is "
+                "the most accurate; cold regions overestimate runtime "
+                "on memory-bound apps; a few hundred kilo-instructions "
+                "of warming recovers most of the gap.\n");
+    return 0;
+}

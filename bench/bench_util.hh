@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/: tiny argv
+ * parsing and table formatting. Each bench binary regenerates one
+ * table or figure of the paper and prints the corresponding rows.
+ */
+
+#ifndef LOOPPOINT_BENCH_BENCH_UTIL_HH
+#define LOOPPOINT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace looppoint::bench {
+
+/** Minimal flag parser: --name or --name=value. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i)
+            args.emplace_back(argv[i]);
+    }
+
+    bool
+    has(const std::string &flag) const
+    {
+        for (const auto &a : args)
+            if (a == "--" + flag ||
+                a.rfind("--" + flag + "=", 0) == 0)
+                return true;
+        return false;
+    }
+
+    std::string
+    get(const std::string &flag, const std::string &def = "") const
+    {
+        std::string prefix = "--" + flag + "=";
+        for (const auto &a : args)
+            if (a.rfind(prefix, 0) == 0)
+                return a.substr(prefix.size());
+        return def;
+    }
+
+    uint64_t
+    getU64(const std::string &flag, uint64_t def) const
+    {
+        std::string v = get(flag);
+        return v.empty() ? def : std::stoull(v);
+    }
+
+  private:
+    std::vector<std::string> args;
+};
+
+/**
+ * Optional CSV emission for plotting: pass --csv (or --csv=DIR) to a
+ * bench and it writes its series to <DIR>/<name>.csv alongside the
+ * console table. Disabled (all calls no-ops) when --csv is absent.
+ */
+class CsvFile
+{
+  public:
+    /** @param args parsed flags; @param name file stem, e.g. "fig5" */
+    CsvFile(const Args &args, const std::string &name)
+    {
+        if (!args.has("csv"))
+            return;
+        std::string dir = args.get("csv", ".");
+        if (dir.empty())
+            dir = ".";
+        path = dir + "/" + name + ".csv";
+        file = std::fopen(path.c_str(), "w");
+        if (!file)
+            std::fprintf(stderr, "warn: cannot write %s\n",
+                         path.c_str());
+    }
+
+    ~CsvFile()
+    {
+        if (file)
+            std::fclose(file);
+    }
+
+    CsvFile(const CsvFile &) = delete;
+    CsvFile &operator=(const CsvFile &) = delete;
+
+    /** Emit one row; quoting is unnecessary for our simple fields. */
+    void
+    row(const std::vector<std::string> &fields)
+    {
+        if (!file)
+            return;
+        for (size_t i = 0; i < fields.size(); ++i)
+            std::fprintf(file, "%s%s", i ? "," : "",
+                         fields[i].c_str());
+        std::fprintf(file, "\n");
+    }
+
+    bool enabled() const { return file != nullptr; }
+    const std::string &fileName() const { return path; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::string path;
+};
+
+inline std::string
+fmt(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+inline void
+printRule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+inline void
+printHeader(const char *title)
+{
+    printRule();
+    std::printf("%s\n", title);
+    printRule();
+}
+
+} // namespace looppoint::bench
+
+#endif // LOOPPOINT_BENCH_BENCH_UTIL_HH

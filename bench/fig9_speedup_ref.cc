@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 9: LoopPoint vs. BarrierPoint *theoretical* speedup (serial and
+ * parallel) for the SPEC CPU2017 speed analogs with ref inputs and the
+ * passive wait policy.
+ *
+ * As in the paper, ref inputs are analyzed but never fully simulated
+ * (a full detailed ref run is impractical by construction); the
+ * figures compare the reduction in work each methodology achieves.
+ * BarrierPoint collapses on barrier-poor applications (638.imagick,
+ * 657.xz) whose inter-barrier regions are as large as the program.
+ *
+ * Flags: --app=NAME, --quick, --train (use train instead of ref)
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/barrierpoint.hh"
+#include "bench_util.hh"
+#include "core/looppoint.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workload/descriptor.hh"
+
+using namespace looppoint;
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const bool quick = args.has("quick");
+    const std::string only = args.get("app");
+    const InputClass input =
+        args.has("train") ? InputClass::Train : InputClass::Ref;
+
+    setQuiet(true);
+    bench::printHeader(
+        "Fig. 9: LoopPoint vs BarrierPoint theoretical speedup "
+        "(SPEC CPU2017 ref, passive, 8 threads)");
+    std::printf("%-22s | %9s %9s | %9s %9s | %6s %6s\n", "application",
+                "LP-ser", "LP-par", "BP-ser", "BP-par", "LP-k",
+                "BP-k");
+    bench::printRule();
+
+    bench::CsvFile csv(args, "fig9");
+    csv.row({"application", "looppoint_serial", "looppoint_parallel",
+             "barrierpoint_serial", "barrierpoint_parallel"});
+
+    std::vector<double> lp_par, bp_par;
+    size_t count = 0;
+    for (const auto &app : spec2017Apps()) {
+        if (!only.empty() && app.name != only)
+            continue;
+        if (quick && count >= 4)
+            break;
+        ++count;
+
+        const uint32_t threads = app.effectiveThreads(8);
+        Program prog = generateProgram(app, input);
+
+        LoopPointOptions lp_opts;
+        lp_opts.numThreads = threads;
+        lp_opts.waitPolicy = WaitPolicy::Passive;
+        LoopPointPipeline pipe(prog, lp_opts);
+        LoopPointResult lp = pipe.analyze();
+
+        BarrierPointOptions bp_opts;
+        bp_opts.numThreads = threads;
+        bp_opts.waitPolicy = WaitPolicy::Passive;
+        BarrierPointResult bp = analyzeBarrierPoint(prog, bp_opts);
+
+        std::printf("%-22s | %9.1f %9.1f | %9.1f %9.1f | %6u %6u\n",
+                    app.name.c_str(), lp.theoreticalSerialSpeedup(),
+                    lp.theoreticalParallelSpeedup(),
+                    bp.theoreticalSerialSpeedup(),
+                    bp.theoreticalParallelSpeedup(), lp.chosenK,
+                    bp.chosenK);
+        csv.row({app.name, bench::fmt(lp.theoreticalSerialSpeedup()),
+                 bench::fmt(lp.theoreticalParallelSpeedup()),
+                 bench::fmt(bp.theoreticalSerialSpeedup()),
+                 bench::fmt(bp.theoreticalParallelSpeedup())});
+        lp_par.push_back(lp.theoreticalParallelSpeedup());
+        bp_par.push_back(bp.theoreticalParallelSpeedup());
+    }
+    bench::printRule();
+    std::printf("%-22s | %9s %9.1f | %9s %9.1f |\n", "geomean parallel",
+                "", geoMean(lp_par), "", geoMean(bp_par));
+    std::printf("\npaper reference (ref): LoopPoint parallel speedup "
+                "avg 11,587x / max 31,253x; BarrierPoint lags or fails "
+                "on imagick and xz. Budgets here are ~1000x smaller; "
+                "the LoopPoint-vs-BarrierPoint ordering is the "
+                "reproduced result.\n");
+    return 0;
+}

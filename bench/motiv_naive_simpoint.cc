@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Section II motivation: a naive multi-threaded adaptation of SimPoint
+ * (fixed global-instruction slices, no spin filtering, aggregate BBVs)
+ * vs. LoopPoint, under both wait policies.
+ *
+ * The paper reports ~25% average error (up to 68%) for the naive
+ * scheme under the active wait policy vs. ~2% for LoopPoint: spinning
+ * makes instruction counts an unstable measure of work.
+ *
+ * Flags: --app=NAME, --quick
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/naive_simpoint.hh"
+#include "bench_util.hh"
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+using namespace looppoint;
+
+namespace {
+
+double
+naiveError(const AppDescriptor &app, WaitPolicy policy)
+{
+    const uint32_t threads = app.effectiveThreads(8);
+    Program prog = generateProgram(app, InputClass::Train);
+
+    NaiveSimpointOptions opts;
+    opts.numThreads = threads;
+    opts.waitPolicy = policy;
+    opts.sliceSizeGlobal = threads * 100'000;
+
+    NaiveSimpointResult analysis = analyzeNaiveSimpoint(prog, opts);
+    SimConfig sim_cfg;
+    std::vector<SimMetrics> regions;
+    for (const auto &r : analysis.regions)
+        regions.push_back(simulateNaiveRegion(prog, opts, r, sim_cfg));
+    double predicted = extrapolateNaiveRuntime(analysis, regions);
+
+    ExecConfig ecfg;
+    ecfg.numThreads = threads;
+    ecfg.waitPolicy = policy;
+    ecfg.seed = opts.seed;
+    MulticoreSim full(prog, ecfg, sim_cfg);
+    double actual = full.run().runtimeSeconds;
+    return absRelErrorPct(predicted, actual);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const bool quick = args.has("quick");
+    const bool full = args.has("full");
+    const std::string only = args.get("app");
+
+    setQuiet(true);
+    bench::printHeader("Motivation (Sec. II): naive MT-SimPoint vs "
+                       "LoopPoint runtime error (train, 8 threads)");
+    std::printf("%-22s | %12s %12s | %12s %12s\n", "application",
+                "naive(act)", "naive(pas)", "LP(act)", "LP(pas)");
+    bench::printRule();
+
+    std::vector<double> na, np, la, lpp;
+    size_t count = 0;
+    for (const auto &app : spec2017Apps()) {
+        if (!only.empty() && app.name != only)
+            continue;
+        if ((quick || !full) && count >= 4)
+            break; // default subset; --full runs all fourteen
+        ++count;
+
+        double n_act = naiveError(app, WaitPolicy::Active);
+        double n_pas = naiveError(app, WaitPolicy::Passive);
+
+        double l_err[2];
+        for (int pol = 0; pol < 2; ++pol) {
+            ExperimentConfig cfg;
+            cfg.app = app.name;
+            cfg.input = InputClass::Train;
+            cfg.requestedThreads = 8;
+            cfg.waitPolicy =
+                pol == 0 ? WaitPolicy::Active : WaitPolicy::Passive;
+            l_err[pol] = runExperiment(cfg).runtimeErrorPct;
+        }
+        na.push_back(n_act);
+        np.push_back(n_pas);
+        la.push_back(l_err[0]);
+        lpp.push_back(l_err[1]);
+        std::printf("%-22s | %12.2f %12.2f | %12.2f %12.2f\n",
+                    app.name.c_str(), n_act, n_pas, l_err[0],
+                    l_err[1]);
+    }
+    bench::printRule();
+    std::printf("%-22s | %12.2f %12.2f | %12.2f %12.2f\n", "mean",
+                mean(na), mean(np), mean(la), mean(lpp));
+    std::printf("%-22s | %12.2f %12.2f | %12.2f %12.2f\n", "max",
+                maxOf(na), maxOf(np), maxOf(la), maxOf(lpp));
+    std::printf("\npaper reference: naive SimPoint averages ~25%% "
+                "error (up to 68%%) under active waiting and up to "
+                "20%% under passive; LoopPoint stays in low single "
+                "digits.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: run the complete LoopPoint flow on the bundled demo
+ * application (the analog of the artifact's
+ * `./run-looppoint.py -p demo-matrix-1 -n 8 --force`).
+ *
+ * Steps shown:
+ *  1. pick a workload and generate its program,
+ *  2. run the LoopPoint analysis (record -> profile -> cluster),
+ *  3. simulate every looppoint plus the full application,
+ *  4. extrapolate and compare.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+
+using namespace looppoint;
+
+int
+main()
+{
+    ExperimentConfig cfg;
+    cfg.app = "demo-matrix";
+    cfg.input = InputClass::Train;
+    cfg.requestedThreads = 8;
+    cfg.waitPolicy = WaitPolicy::Passive;
+    cfg.loopPoint.sliceSizePerThread = 20'000;
+
+    std::printf("LoopPoint quickstart: %s (%u threads, passive)\n",
+                cfg.app.c_str(), cfg.requestedThreads);
+    std::printf("---------------------------------------------------\n");
+
+    ExperimentResult r = runExperiment(cfg);
+
+    std::printf("slices profiled      : %zu\n", r.analysis.slices.size());
+    std::printf("clusters chosen (k)  : %u\n", r.analysis.chosenK);
+    std::printf("looppoints selected  : %zu\n",
+                r.analysis.regions.size());
+    for (const auto &region : r.analysis.regions) {
+        std::printf("  region %2u: start=(%#llx,%llu) "
+                    "end=(%#llx,%llu) icount=%llu mult=%.2f\n",
+                    region.cluster,
+                    static_cast<unsigned long long>(region.start.pc),
+                    static_cast<unsigned long long>(region.start.count),
+                    static_cast<unsigned long long>(region.end.pc),
+                    static_cast<unsigned long long>(region.end.count),
+                    static_cast<unsigned long long>(region.filteredIcount),
+                    region.multiplier);
+    }
+
+    std::printf("\npredicted runtime    : %.6f s\n",
+                r.predicted.runtimeSeconds);
+    std::printf("measured runtime     : %.6f s (full simulation)\n",
+                r.fullSim.runtimeSeconds);
+    std::printf("runtime error        : %.2f %%\n", r.runtimeErrorPct);
+    std::printf("theoretical speedup  : %.1fx serial, %.1fx parallel\n",
+                r.theoreticalSerialSpeedup,
+                r.theoreticalParallelSpeedup);
+    std::printf("actual speedup       : %.1fx serial, %.1fx parallel\n",
+                r.actualSerialSpeedup, r.actualParallelSpeedup);
+    return 0;
+}

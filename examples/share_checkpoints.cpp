@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Example: the checkpoint-sharing workflow the paper's title is about.
+ *
+ * Machine A (has the workload): analyze once, export each looppoint as
+ * a shareable artifact — a RegionPinball (tiny recipe, restored by
+ * deterministic replay) and an ELFie (positioned execution state,
+ * restored in O(state)).
+ *
+ * Machine B (has only the artifacts): load them, simulate each region
+ * on its own microarchitecture, extrapolate with the embedded Eq.-2
+ * multipliers — no access to the original program run needed.
+ *
+ * Here both "machines" are this process, with the artifacts round-
+ * tripped through files in the working directory.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/region_checkpoint.hh"
+#include "util/logging.hh"
+
+using namespace looppoint;
+
+int
+main()
+{
+    const char *app_name = "628.pop2_s.1";
+    const AppDescriptor &app = findApp(app_name);
+    const uint32_t threads = app.effectiveThreads(8);
+
+    // ---- Machine A: analyze and export --------------------------------
+    Program prog = generateProgram(app, InputClass::Train);
+    LoopPointOptions opts;
+    opts.numThreads = threads;
+    LoopPointPipeline pipe(prog, opts);
+    LoopPointResult lp = pipe.analyze();
+    std::printf("[A] analyzed %s: %zu slices -> %u looppoints\n",
+                app_name, lp.slices.size(), lp.chosenK);
+
+    auto pinballs =
+        exportRegionPinballs(app, InputClass::Train, opts, lp);
+    std::vector<std::string> files;
+    for (size_t i = 0; i < pinballs.size(); ++i) {
+        std::string path = strFormat("region_%02zu.pinball", i);
+        std::ofstream os(path);
+        pinballs[i].save(os);
+        files.push_back(path);
+    }
+    std::printf("[A] exported %zu region pinballs (plus one ELFie "
+                "demo)\n", files.size());
+
+    // One ELFie for the hottest region, to show the O(1)-restore path.
+    size_t hottest = 0;
+    for (size_t i = 0; i < pinballs.size(); ++i)
+        if (pinballs[i].multiplier > pinballs[hottest].multiplier)
+            hottest = i;
+    {
+        std::ofstream os("region_hot.elfie");
+        saveElfie(os, pinballs[hottest]);
+    }
+
+    // ---- Machine B: load and simulate ---------------------------------
+    SimConfig target; // could be any microarchitecture
+    std::vector<SimMetrics> metrics;
+    std::vector<RegionPinball> loaded;
+    for (const auto &path : files) {
+        std::ifstream is(path);
+        loaded.push_back(RegionPinball::load(is));
+        metrics.push_back(
+            simulateRegionPinball(loaded.back(), target));
+    }
+    std::printf("[B] simulated %zu regions from the artifacts\n",
+                metrics.size());
+
+    double runtime = 0.0;
+    for (size_t i = 0; i < metrics.size(); ++i)
+        runtime += metrics[i].runtimeSeconds * loaded[i].multiplier;
+    std::printf("[B] extrapolated runtime: %.6f s\n", runtime);
+
+    // ELFie restore: positioned state, no prefix replay.
+    {
+        std::ifstream is("region_hot.elfie");
+        RestoredElfie elfie = loadElfie(is);
+        std::printf("[B] ELFie restored at %llu instructions executed "
+                    "(region multiplier %.2f)\n",
+                    static_cast<unsigned long long>(
+                        elfie.engine.globalIcount()),
+                    elfie.multiplier);
+    }
+
+    // Cross-check against a direct full simulation (Machine A's view).
+    SimMetrics full = pipe.simulateFull(target);
+    std::printf("\ncheck: direct full simulation %.6f s "
+                "(extrapolation error %.2f%%)\n",
+                full.runtimeSeconds,
+                (runtime - full.runtimeSeconds) /
+                    full.runtimeSeconds * 100.0);
+    for (const auto &path : files)
+        std::remove(path.c_str());
+    std::remove("region_hot.elfie");
+    return 0;
+}

@@ -1,0 +1,26 @@
+#!/bin/bash
+# Regenerates test_output.txt and bench_output.txt (the paper-reproduction
+# evidence files). Runs every bench binary with default arguments.
+cd "$(dirname "$0")"
+ctest --test-dir build 2>&1 | tee test_output.txt
+{
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo
+    echo "================================================================"
+    echo "== $b"
+    echo "================================================================"
+    timeout 1800 "$b" 2>/dev/null
+done
+echo
+echo "================================================================"
+echo "== build/bench/fig5_accuracy --inorder --quick   (Fig. 5b)"
+echo "================================================================"
+timeout 1800 build/bench/fig5_accuracy --inorder --quick 2>/dev/null
+echo
+echo "================================================================"
+echo "== build/bench/fig5_accuracy --constrained --quick   (Sec. V-A.1)"
+echo "================================================================"
+timeout 1800 build/bench/fig5_accuracy --constrained --quick 2>/dev/null
+} > bench_output.txt 2>&1
+echo ALL_DONE >> bench_output.txt

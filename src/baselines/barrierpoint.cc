@@ -1,0 +1,154 @@
+#include "baselines/barrierpoint.hh"
+
+#include <algorithm>
+
+#include "cluster/kmeans.hh"
+#include "exec/driver.hh"
+#include "exec/engine.hh"
+#include "exec/listener.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+/** Collects per-inter-barrier-region, per-thread filtered BBVs. */
+class BarrierRegionProfiler : public ExecListener
+{
+  public:
+    BarrierRegionProfiler(const Program &prog, uint32_t num_threads)
+        : prog(&prog), numThreads(num_threads),
+          regions(prog.runList.size())
+    {
+        for (auto &r : regions) {
+            r.perThread.assign(numThreads, ThreadBbv{});
+            r.threadFilteredIcount.assign(numThreads, 0);
+        }
+    }
+
+    void
+    onBlock(uint32_t tid, BlockId block,
+            const ExecutionEngine &engine) override
+    {
+        uint32_t rp = engine.runPosition(tid);
+        if (rp >= regions.size())
+            rp = static_cast<uint32_t>(regions.size()) - 1;
+        SliceRecord &r = regions[rp];
+        const BasicBlock &bb = prog->blocks[block];
+        r.totalIcount += bb.numInstrs();
+        if (bb.image == ImageId::Main) {
+            r.perThread[tid].add(block);
+            r.threadFilteredIcount[tid] += bb.numInstrs();
+            r.filteredIcount += bb.numInstrs();
+        }
+    }
+
+    const Program *prog;
+    uint32_t numThreads;
+    std::vector<SliceRecord> regions;
+};
+
+} // namespace
+
+uint64_t
+BarrierPointResult::largestRegionIcount() const
+{
+    uint64_t largest = 0;
+    for (const auto &r : regions)
+        largest = std::max(largest, r.filteredIcount);
+    return largest;
+}
+
+double
+BarrierPointResult::theoreticalSerialSpeedup() const
+{
+    uint64_t selected = 0;
+    for (const auto &r : regions)
+        selected += r.filteredIcount;
+    return selected ? static_cast<double>(totalFilteredIcount) /
+                          static_cast<double>(selected)
+                    : 0.0;
+}
+
+double
+BarrierPointResult::theoreticalParallelSpeedup() const
+{
+    uint64_t largest = largestRegionIcount();
+    return largest ? static_cast<double>(totalFilteredIcount) /
+                         static_cast<double>(largest)
+                   : 0.0;
+}
+
+BarrierPointResult
+analyzeBarrierPoint(const Program &prog, const BarrierPointOptions &opts)
+{
+    ExecConfig cfg;
+    cfg.numThreads = opts.numThreads;
+    cfg.waitPolicy = opts.waitPolicy;
+    cfg.seed = opts.seed;
+
+    BarrierRegionProfiler profiler(prog, cfg.numThreads);
+    ExecutionEngine engine(prog, cfg);
+    RoundRobinDriver driver(engine, opts.flowQuantum);
+    driver.run(&profiler);
+
+    BarrierPointResult out;
+    for (const auto &r : profiler.regions) {
+        out.regionIcounts.push_back(r.filteredIcount);
+        out.totalFilteredIcount += r.filteredIcount;
+    }
+
+    // Feature construction identical to LoopPoint's: normalized,
+    // instruction-weighted, per-thread concatenated BBVs under a
+    // random projection. (The original BarrierPoint also concatenates
+    // LRU-stack-distance signatures; BBVs dominate its behavior and
+    // are what we reproduce.)
+    RandomProjector projector(opts.projectionDims,
+                              hashCombine(opts.seed, 0xbbf));
+    FeatureMatrix features;
+    const uint64_t num_blocks = prog.numBlocks();
+    for (const auto &r : profiler.regions) {
+        std::vector<std::pair<uint64_t, double>> sparse;
+        double norm = r.filteredIcount
+                          ? static_cast<double>(r.filteredIcount)
+                          : 1.0;
+        for (uint32_t tid = 0; tid < r.perThread.size(); ++tid)
+            for (const auto &[block, count] : r.perThread[tid].counts)
+                sparse.emplace_back(
+                    static_cast<uint64_t>(tid) * num_blocks + block,
+                    static_cast<double>(count) *
+                        static_cast<double>(
+                            prog.blocks[block].numInstrs()) /
+                        norm);
+        features.push_back(projector.project(sparse));
+    }
+
+    ClusteringResult clustering =
+        simpointCluster(features, opts.maxK,
+                        hashCombine(opts.seed, 0xc1u),
+                        opts.bicThreshold);
+    out.assignment = clustering.best.assignment;
+    out.chosenK = clustering.chosenK;
+
+    std::vector<uint32_t> reps =
+        pickRepresentatives(features, clustering.best);
+    std::vector<uint64_t> cluster_work(out.chosenK, 0);
+    for (size_t i = 0; i < out.regionIcounts.size(); ++i)
+        cluster_work[out.assignment[i]] += out.regionIcounts[i];
+
+    for (uint32_t c = 0; c < out.chosenK; ++c) {
+        uint64_t rep_icount = out.regionIcounts[reps[c]];
+        if (rep_icount == 0)
+            continue;
+        BarrierPointRegion region;
+        region.cluster = c;
+        region.runPos = reps[c];
+        region.filteredIcount = rep_icount;
+        region.multiplier = static_cast<double>(cluster_work[c]) /
+                            static_cast<double>(rep_icount);
+        out.regions.push_back(region);
+    }
+    return out;
+}
+
+} // namespace looppoint

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * BarrierPoint baseline (Carlson et al., ISPASS 2014; paper Section II
+ * and Fig. 9): the unit of work is the inter-barrier region instead of
+ * a loop-bounded slice. Regions are clustered with the same
+ * SimPoint-style machinery as LoopPoint, but region sizes are dictated
+ * by the application's barrier density — which is exactly the
+ * limitation the paper demonstrates: barrier-poor applications
+ * (638.imagick, 657.xz) produce enormous regions and negligible
+ * speedup.
+ *
+ * In our OpenMP model every kernel instance ends with its implicit
+ * region barrier, so inter-barrier regions correspond to run-list
+ * entries.
+ */
+
+#ifndef LOOPPOINT_BASELINES_BARRIERPOINT_HH
+#define LOOPPOINT_BASELINES_BARRIERPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "profile/bbv.hh"
+
+namespace looppoint {
+
+/** BarrierPoint analysis knobs. */
+struct BarrierPointOptions
+{
+    uint32_t numThreads = 8;
+    WaitPolicy waitPolicy = WaitPolicy::Passive;
+    uint32_t maxK = 50;
+    uint32_t projectionDims = 100;
+    double bicThreshold = 0.9;
+    uint64_t seed = 42;
+    uint64_t flowQuantum = 1000;
+};
+
+/** One selected barrierpoint. */
+struct BarrierPointRegion
+{
+    uint32_t cluster = 0;
+    /** Run-list position (kernel instance) of the representative. */
+    uint32_t runPos = 0;
+    uint64_t filteredIcount = 0;
+    double multiplier = 1.0;
+};
+
+/** BarrierPoint analysis output. */
+struct BarrierPointResult
+{
+    /** Filtered work per inter-barrier region (run-list entry). */
+    std::vector<uint64_t> regionIcounts;
+    std::vector<uint32_t> assignment;
+    uint32_t chosenK = 0;
+    std::vector<BarrierPointRegion> regions;
+    uint64_t totalFilteredIcount = 0;
+
+    uint64_t largestRegionIcount() const;
+    double theoreticalSerialSpeedup() const;
+    double theoreticalParallelSpeedup() const;
+};
+
+/** Run the BarrierPoint analysis on one program. */
+BarrierPointResult analyzeBarrierPoint(const Program &prog,
+                                       const BarrierPointOptions &opts);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_BASELINES_BARRIERPOINT_HH

@@ -1,0 +1,163 @@
+#include "baselines/naive_simpoint.hh"
+
+#include <algorithm>
+
+#include "cluster/kmeans.hh"
+#include "exec/driver.hh"
+#include "exec/engine.hh"
+#include "exec/listener.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+/** Aggregate (not per-thread) BBVs over fixed global-icount slices. */
+class NaiveProfiler : public ExecListener
+{
+  public:
+    NaiveProfiler(const Program &prog, uint64_t slice_size)
+        : prog(&prog), sliceSize(slice_size)
+    {
+        slices.emplace_back();
+    }
+
+    struct Slice
+    {
+        std::unordered_map<BlockId, uint64_t> bbv;
+        uint64_t icount = 0;
+        uint64_t startIcount = 0;
+    };
+
+    void
+    onBlock(uint32_t tid, BlockId block,
+            const ExecutionEngine &engine) override
+    {
+        (void)tid;
+        (void)engine;
+        const BasicBlock &bb = prog->blocks[block];
+        Slice &s = slices.back();
+        // No spin filtering, no per-thread separation: the naive
+        // adaptation counts everything.
+        s.bbv[block] += 1;
+        s.icount += bb.numInstrs();
+        globalIcount += bb.numInstrs();
+        if (s.icount >= sliceSize) {
+            Slice next;
+            next.startIcount = globalIcount;
+            slices.push_back(std::move(next));
+        }
+    }
+
+    const Program *prog;
+    uint64_t sliceSize;
+    uint64_t globalIcount = 0;
+    std::vector<Slice> slices;
+};
+
+} // namespace
+
+NaiveSimpointResult
+analyzeNaiveSimpoint(const Program &prog,
+                     const NaiveSimpointOptions &opts)
+{
+    ExecConfig cfg;
+    cfg.numThreads = opts.numThreads;
+    cfg.waitPolicy = opts.waitPolicy;
+    cfg.seed = opts.seed;
+
+    NaiveProfiler profiler(prog, opts.sliceSizeGlobal);
+    ExecutionEngine engine(prog, cfg);
+    RoundRobinDriver driver(engine, opts.flowQuantum);
+    driver.run(&profiler);
+    if (profiler.slices.back().icount == 0 &&
+        profiler.slices.size() > 1)
+        profiler.slices.pop_back();
+
+    NaiveSimpointResult out;
+    RandomProjector projector(opts.projectionDims,
+                              hashCombine(opts.seed, 0xbbf));
+    FeatureMatrix features;
+    for (const auto &s : profiler.slices) {
+        out.sliceIcounts.push_back(s.icount);
+        out.totalIcount += s.icount;
+        std::vector<std::pair<uint64_t, double>> sparse;
+        double norm = s.icount ? static_cast<double>(s.icount) : 1.0;
+        for (const auto &[block, count] : s.bbv)
+            sparse.emplace_back(
+                block, static_cast<double>(count) *
+                           static_cast<double>(
+                               prog.blocks[block].numInstrs()) /
+                           norm);
+        features.push_back(projector.project(sparse));
+    }
+
+    ClusteringResult clustering =
+        simpointCluster(features, opts.maxK,
+                        hashCombine(opts.seed, 0xc1u),
+                        opts.bicThreshold);
+    out.assignment = clustering.best.assignment;
+    out.chosenK = clustering.chosenK;
+
+    std::vector<uint32_t> reps =
+        pickRepresentatives(features, clustering.best);
+    std::vector<uint64_t> cluster_work(out.chosenK, 0);
+    for (size_t i = 0; i < out.sliceIcounts.size(); ++i)
+        cluster_work[out.assignment[i]] += out.sliceIcounts[i];
+
+    for (uint32_t c = 0; c < out.chosenK; ++c) {
+        uint32_t idx = reps[c];
+        if (out.sliceIcounts[idx] == 0)
+            continue;
+        NaiveRegion r;
+        r.cluster = c;
+        r.sliceIndex = idx;
+        r.startIcount = profiler.slices[idx].startIcount;
+        r.endIcount =
+            profiler.slices[idx].startIcount + out.sliceIcounts[idx];
+        r.multiplier = static_cast<double>(cluster_work[c]) /
+                       static_cast<double>(out.sliceIcounts[idx]);
+        out.regions.push_back(r);
+    }
+    return out;
+}
+
+SimMetrics
+simulateNaiveRegion(const Program &prog,
+                    const NaiveSimpointOptions &opts,
+                    const NaiveRegion &region, const SimConfig &sim_cfg)
+{
+    ExecConfig cfg;
+    cfg.numThreads = opts.numThreads;
+    cfg.waitPolicy = opts.waitPolicy;
+    cfg.seed = opts.seed;
+
+    MulticoreSim sim(prog, cfg, sim_cfg);
+    // Position by global instruction count — the naive (unstable)
+    // boundary definition.
+    if (region.startIcount > 0) {
+        sim.fastForward(
+            [&] {
+                return sim.engine().globalIcount() >= region.startIcount;
+            },
+            /*warm=*/true);
+    }
+    return sim.runDetailed([&] {
+        return sim.engine().globalIcount() >= region.endIcount;
+    });
+}
+
+double
+extrapolateNaiveRuntime(const NaiveSimpointResult &analysis,
+                        const std::vector<SimMetrics> &regions)
+{
+    if (regions.size() != analysis.regions.size())
+        fatal("extrapolateNaiveRuntime: region count mismatch");
+    double runtime = 0.0;
+    for (size_t i = 0; i < regions.size(); ++i)
+        runtime += regions[i].runtimeSeconds *
+                   analysis.regions[i].multiplier;
+    return runtime;
+}
+
+} // namespace looppoint

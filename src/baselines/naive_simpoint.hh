@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Naive multi-threaded SimPoint baseline (paper Section II): slice the
+ * execution by *global instruction count* — spin code included, no
+ * loop-aligned boundaries, one aggregate BBV per slice — then cluster
+ * and extrapolate as usual.
+ *
+ * This is the strawman the paper measures at ~25% average error (up to
+ * 68%) under the active wait policy: instruction-count boundaries are
+ * not stable work markers when waiting threads burn instructions, and
+ * aggregate BBVs hide per-thread imbalance.
+ */
+
+#ifndef LOOPPOINT_BASELINES_NAIVE_SIMPOINT_HH
+#define LOOPPOINT_BASELINES_NAIVE_SIMPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/config.hh"
+#include "sim/multicore.hh"
+
+namespace looppoint {
+
+/** Naive-SimPoint knobs. */
+struct NaiveSimpointOptions
+{
+    uint32_t numThreads = 8;
+    WaitPolicy waitPolicy = WaitPolicy::Passive;
+    /** Slice size in *global, unfiltered* instructions. */
+    uint64_t sliceSizeGlobal = 800'000;
+    uint32_t maxK = 50;
+    uint32_t projectionDims = 100;
+    double bicThreshold = 0.9;
+    uint64_t seed = 42;
+    uint64_t flowQuantum = 1000;
+};
+
+/** One selected region: a global-icount interval. */
+struct NaiveRegion
+{
+    uint32_t cluster = 0;
+    uint32_t sliceIndex = 0;
+    uint64_t startIcount = 0; ///< global icount at region start
+    uint64_t endIcount = 0;   ///< global icount at region end
+    double multiplier = 1.0;
+};
+
+/** Analysis result. */
+struct NaiveSimpointResult
+{
+    std::vector<uint64_t> sliceIcounts;
+    std::vector<uint32_t> assignment;
+    uint32_t chosenK = 0;
+    std::vector<NaiveRegion> regions;
+    uint64_t totalIcount = 0;
+};
+
+/** Profile + cluster under the naive scheme. */
+NaiveSimpointResult analyzeNaiveSimpoint(
+    const Program &prog, const NaiveSimpointOptions &opts);
+
+/**
+ * Simulate one naive region (boundaries re-located by global icount in
+ * the timing schedule — the very step that makes the method unsound)
+ * and return its metrics.
+ */
+SimMetrics simulateNaiveRegion(const Program &prog,
+                               const NaiveSimpointOptions &opts,
+                               const NaiveRegion &region,
+                               const SimConfig &sim_cfg);
+
+/** Eq.-1-style runtime extrapolation for the naive method. */
+double extrapolateNaiveRuntime(const NaiveSimpointResult &analysis,
+                               const std::vector<SimMetrics> &regions);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_BASELINES_NAIVE_SIMPOINT_HH

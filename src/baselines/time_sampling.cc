@@ -1,0 +1,56 @@
+#include "baselines/time_sampling.hh"
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+TimeSamplingResult
+runTimeSampling(const Program &prog, const TimeSamplingOptions &opts,
+                const SimConfig &sim_cfg)
+{
+    if (opts.detailedInstrs == 0)
+        fatal("time sampling: detailed window must be positive");
+
+    ExecConfig cfg;
+    cfg.numThreads = opts.numThreads;
+    cfg.waitPolicy = opts.waitPolicy;
+    cfg.seed = opts.seed;
+
+    MulticoreSim sim(prog, cfg, sim_cfg);
+    TimeSamplingResult out;
+
+    while (!sim.engine().allFinished()) {
+        // Detailed window: bounded by cycles (true time-based
+        // sampling) or by instructions.
+        SimMetrics window;
+        if (opts.detailedCycles > 0) {
+            window = sim.runDetailed([&] {
+                return sim.maxCoreTime() >= opts.detailedCycles;
+            });
+        } else {
+            uint64_t detail_end =
+                sim.engine().globalIcount() + opts.detailedInstrs;
+            window = sim.runDetailed([&] {
+                return sim.engine().globalIcount() >= detail_end;
+            });
+        }
+        out.detailed += window;
+        ++out.detailedWindows;
+        if (sim.engine().allFinished())
+            break;
+        // Fast-forward window with functional warming.
+        uint64_t ff_end =
+            sim.engine().globalIcount() + opts.fastForwardInstrs;
+        sim.fastForward(
+            [&] { return sim.engine().globalIcount() >= ff_end; },
+            /*warm=*/true);
+    }
+
+    out.totalInstructions = sim.engine().globalIcount();
+    double fraction = out.detailFraction();
+    out.predictedRuntimeSeconds =
+        fraction > 0.0 ? out.detailed.runtimeSeconds / fraction : 0.0;
+    return out;
+}
+
+} // namespace looppoint

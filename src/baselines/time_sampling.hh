@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Time-based sampling baseline (Carlson et al., ISPASS 2013; paper
+ * Sections I/II and Fig. 1): alternate short detailed-simulation
+ * windows with long functional fast-forward windows over the *entire*
+ * application, then scale the detailed time by the duty cycle.
+ *
+ * The method is generic and reasonably accurate, but its speedup is
+ * bounded by having to visit the whole application functionally —
+ * the limitation LoopPoint removes.
+ */
+
+#ifndef LOOPPOINT_BASELINES_TIME_SAMPLING_HH
+#define LOOPPOINT_BASELINES_TIME_SAMPLING_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "sim/config.hh"
+#include "sim/multicore.hh"
+
+namespace looppoint {
+
+/** Time-based-sampling knobs. */
+struct TimeSamplingOptions
+{
+    uint32_t numThreads = 8;
+    WaitPolicy waitPolicy = WaitPolicy::Passive;
+    /** Detailed window length, in global instructions. */
+    uint64_t detailedInstrs = 100'000;
+    /** Fast-forward window length, in global instructions. */
+    uint64_t fastForwardInstrs = 900'000;
+    /**
+     * When nonzero, detailed windows end after this many *cycles*
+     * instead of after detailedInstrs instructions — true time-based
+     * windows, insensitive to spin-inflated instruction counts.
+     */
+    uint64_t detailedCycles = 0;
+    uint64_t seed = 42;
+};
+
+/** Result of a time-sampled run. */
+struct TimeSamplingResult
+{
+    /** Summed metrics over the detailed windows only. */
+    SimMetrics detailed;
+    /** Runtime prediction: detailed time scaled by the duty cycle. */
+    double predictedRuntimeSeconds = 0.0;
+    uint64_t detailedWindows = 0;
+    uint64_t totalInstructions = 0;
+
+    /** Fraction of instructions simulated in detail. */
+    double
+    detailFraction() const
+    {
+        return totalInstructions
+                   ? static_cast<double>(detailed.instructions) /
+                         static_cast<double>(totalInstructions)
+                   : 0.0;
+    }
+};
+
+/** Run time-based sampling over the whole program. */
+TimeSamplingResult runTimeSampling(const Program &prog,
+                                   const TimeSamplingOptions &opts,
+                                   const SimConfig &sim_cfg);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_BASELINES_TIME_SAMPLING_HH

@@ -1,0 +1,267 @@
+#include "cluster/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    LP_ASSERT(a.size() == b.size());
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+} // namespace
+
+KmeansResult
+kmeans(const FeatureMatrix &points, uint32_t k, Rng &rng,
+       uint32_t max_iters)
+{
+    const size_t n = points.size();
+    if (n == 0)
+        fatal("kmeans: empty input");
+    if (k == 0 || k > n)
+        fatal("kmeans: k=%u out of range for %zu points", k, n);
+    const size_t d = points[0].size();
+
+    KmeansResult res;
+    res.k = k;
+
+    // k-means++ seeding.
+    std::vector<size_t> seeds;
+    seeds.push_back(rng.nextBounded(n));
+    std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+    while (seeds.size() < k) {
+        for (size_t i = 0; i < n; ++i) {
+            double d2 = sqDist(points[i], points[seeds.back()]);
+            min_d2[i] = std::min(min_d2[i], d2);
+        }
+        double total = 0.0;
+        for (double v : min_d2)
+            total += v;
+        size_t chosen;
+        if (total <= 0.0) {
+            chosen = rng.nextBounded(n); // all points identical
+        } else {
+            double target = rng.nextDouble() * total;
+            double acc = 0.0;
+            chosen = n - 1;
+            for (size_t i = 0; i < n; ++i) {
+                acc += min_d2[i];
+                if (acc >= target) {
+                    chosen = i;
+                    break;
+                }
+            }
+        }
+        seeds.push_back(chosen);
+    }
+    res.centroids.clear();
+    for (size_t s : seeds)
+        res.centroids.push_back(points[s]);
+
+    res.assignment.assign(n, 0);
+    for (uint32_t iter = 0; iter < max_iters; ++iter) {
+        res.iterations = iter + 1;
+        // Assignment step.
+        bool changed = false;
+        for (size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            uint32_t best_c = 0;
+            for (uint32_t c = 0; c < k; ++c) {
+                double d2 = sqDist(points[i], res.centroids[c]);
+                if (d2 < best) {
+                    best = d2;
+                    best_c = c;
+                }
+            }
+            if (res.assignment[i] != best_c) {
+                res.assignment[i] = best_c;
+                changed = true;
+            }
+        }
+        // Update step.
+        FeatureMatrix sums(k, std::vector<double>(d, 0.0));
+        std::vector<size_t> counts(k, 0);
+        for (size_t i = 0; i < n; ++i) {
+            uint32_t c = res.assignment[i];
+            ++counts[c];
+            for (size_t j = 0; j < d; ++j)
+                sums[c][j] += points[i][j];
+        }
+        for (uint32_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster at the point farthest from
+                // its centroid.
+                size_t far_i = 0;
+                double far_d = -1.0;
+                for (size_t i = 0; i < n; ++i) {
+                    double d2 = sqDist(points[i],
+                                       res.centroids[res.assignment[i]]);
+                    if (d2 > far_d) {
+                        far_d = d2;
+                        far_i = i;
+                    }
+                }
+                res.centroids[c] = points[far_i];
+                changed = true;
+                continue;
+            }
+            for (size_t j = 0; j < d; ++j)
+                res.centroids[c][j] =
+                    sums[c][j] / static_cast<double>(counts[c]);
+        }
+        if (!changed)
+            break;
+    }
+
+    res.distortion = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        res.distortion += sqDist(points[i],
+                                 res.centroids[res.assignment[i]]);
+    return res;
+}
+
+double
+bicScore(const FeatureMatrix &points, const KmeansResult &result)
+{
+    const double n = static_cast<double>(points.size());
+    const double d = static_cast<double>(points[0].size());
+    const double k = static_cast<double>(result.k);
+
+    std::vector<double> cluster_sizes(result.k, 0.0);
+    for (uint32_t c : result.assignment)
+        cluster_sizes[c] += 1.0;
+
+    double sigma2 = n > k ? result.distortion / (d * (n - k)) : 0.0;
+    sigma2 = std::max(sigma2, 1e-12);
+
+    double log_likelihood = 0.0;
+    for (double rn : cluster_sizes) {
+        if (rn <= 0.0)
+            continue;
+        log_likelihood += rn * std::log(rn / n);
+    }
+    log_likelihood -= n * d / 2.0 * std::log(2.0 * M_PI * sigma2);
+    log_likelihood -= (n - k) * d / 2.0;
+
+    const double num_params = k * (d + 1.0);
+    return log_likelihood - num_params / 2.0 * std::log(n);
+}
+
+ClusteringResult
+simpointCluster(const FeatureMatrix &points, uint32_t max_k,
+                uint64_t seed, double bic_threshold)
+{
+    if (points.empty())
+        fatal("simpointCluster: no slices to cluster");
+    // k == n is degenerate (zero distortion makes the BIC spike and
+    // poisons the normalized threshold), so keep at least two points
+    // per potential cluster on average.
+    uint32_t limit = std::min<uint32_t>(
+        max_k,
+        points.size() > 1
+            ? static_cast<uint32_t>(points.size() - 1)
+            : 1);
+    limit = std::min<uint32_t>(
+        limit, std::max<uint32_t>(1,
+                                  static_cast<uint32_t>(points.size() / 2)));
+    LP_ASSERT(limit >= 1);
+
+    // Scan every k up to 16, then coarser steps up to the limit, so
+    // model selection stays cheap for runs with many slices.
+    std::vector<uint32_t> ks;
+    for (uint32_t k = 1; k <= limit && k <= 16; ++k)
+        ks.push_back(k);
+    if (limit > 16) {
+        uint32_t step = std::max<uint32_t>(2, (limit - 16) / 12);
+        for (uint32_t k = 16 + step; k <= limit; k += step)
+            ks.push_back(k);
+        if (ks.back() != limit)
+            ks.push_back(limit);
+    }
+
+    ClusteringResult out;
+    std::vector<KmeansResult> runs;
+    runs.reserve(ks.size());
+    for (uint32_t k : ks) {
+        Rng rng(hashCombine(seed, k));
+        runs.push_back(kmeans(points, k, rng));
+        out.bicByK.emplace_back(k, bicScore(points, runs.back()));
+    }
+
+    double best = out.bicByK[0].second;
+    double worst = out.bicByK[0].second;
+    for (const auto &[k, bic] : out.bicByK) {
+        best = std::max(best, bic);
+        worst = std::min(worst, bic);
+    }
+    double span = best - worst;
+    size_t chosen_idx = out.bicByK.size() - 1;
+    for (size_t i = 0; i < out.bicByK.size(); ++i) {
+        double norm = span > 0.0
+                          ? (out.bicByK[i].second - worst) / span
+                          : 1.0;
+        if (norm >= bic_threshold) {
+            chosen_idx = i;
+            break;
+        }
+    }
+    out.chosenK = out.bicByK[chosen_idx].first;
+    out.best = std::move(runs[chosen_idx]);
+    return out;
+}
+
+std::vector<uint32_t>
+pickRepresentatives(const FeatureMatrix &points,
+                    const KmeansResult &result)
+{
+    std::vector<uint32_t> reps(result.k, 0);
+    std::vector<double> best(result.k,
+                             std::numeric_limits<double>::max());
+    for (size_t i = 0; i < points.size(); ++i) {
+        uint32_t c = result.assignment[i];
+        double d2 = sqDist(points[i], result.centroids[c]);
+        if (d2 < best[c]) {
+            best[c] = d2;
+            reps[c] = static_cast<uint32_t>(i);
+        }
+    }
+    return reps;
+}
+
+RandomProjector::RandomProjector(uint32_t out_dims, uint64_t seed_)
+    : dims(out_dims), seed(seed_)
+{
+    if (dims == 0)
+        fatal("RandomProjector: need at least one output dimension");
+}
+
+std::vector<double>
+RandomProjector::project(
+    const std::vector<std::pair<uint64_t, double>> &row) const
+{
+    std::vector<double> out(dims, 0.0);
+    for (const auto &[dim, value] : row) {
+        for (uint32_t d = 0; d < dims; ++d) {
+            uint64_t h = hashCombine(seed, dim * 0x9e3779b1ull + d);
+            // Map the hash to a deterministic value in [-1, 1].
+            double r = static_cast<double>(h >> 11) * 0x1.0p-53;
+            out[d] += value * (2.0 * r - 1.0);
+        }
+    }
+    return out;
+}
+
+} // namespace looppoint

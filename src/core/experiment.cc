@@ -1,0 +1,99 @@
+#include "core/experiment.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace looppoint {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double>(dt).count();
+}
+
+} // namespace
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    const AppDescriptor &app = findApp(cfg.app);
+    const uint32_t threads =
+        app.effectiveThreads(cfg.requestedThreads);
+
+    Program prog = generateProgram(app, cfg.input);
+
+    LoopPointOptions opts = cfg.loopPoint;
+    opts.numThreads = threads;
+    opts.waitPolicy = cfg.waitPolicy;
+
+    ExperimentResult res;
+    res.app = cfg.app;
+    res.threads = threads;
+
+    LoopPointPipeline pipeline(prog, opts);
+    res.analysis = pipeline.analyze();
+    res.theoreticalSerialSpeedup =
+        res.analysis.theoreticalSerialSpeedup();
+    res.theoreticalParallelSpeedup =
+        res.analysis.theoreticalParallelSpeedup();
+
+    // Checkpoint-driven simulation: one warming pass snapshots the
+    // simulation state at every region start; each region then runs
+    // in isolation. Region wall times exclude the shared analysis
+    // pass (they are what a parallel deployment of the checkpoints
+    // would see); the checkpoint pass is reported separately.
+    auto ckpt = pipeline.simulateRegionsCheckpointed(
+        res.analysis, cfg.sim, cfg.constrainedRegions);
+    res.regionMetrics = std::move(ckpt.regionMetrics);
+    res.wallCheckpointSeconds = ckpt.checkpointWallSeconds;
+    for (double wall : ckpt.regionWallSeconds) {
+        res.wallRegionsTotalSeconds += wall;
+        res.wallRegionsMaxSeconds =
+            std::max(res.wallRegionsMaxSeconds, wall);
+    }
+    res.predicted =
+        extrapolateMetrics(res.analysis, res.regionMetrics, cfg.sim);
+
+    if (cfg.simulateFull) {
+        auto t0 = std::chrono::steady_clock::now();
+        res.fullSim = pipeline.simulateFull(cfg.sim);
+        res.wallFullSeconds = secondsSince(t0);
+        res.haveFullSim = true;
+
+        res.runtimeErrorPct = absRelErrorPct(
+            res.predicted.runtimeSeconds, res.fullSim.runtimeSeconds);
+        res.cyclesErrorPct = absRelErrorPct(
+            res.predicted.cycles,
+            static_cast<double>(res.fullSim.cycles));
+        // Work-normalized MPKI (see MetricPrediction): both sides
+        // divide by main-image instructions.
+        auto filtered_mpki = [&](uint64_t events) {
+            return res.fullSim.filteredInstructions
+                       ? 1000.0 * static_cast<double>(events) /
+                             static_cast<double>(
+                                 res.fullSim.filteredInstructions)
+                       : 0.0;
+        };
+        res.branchMpkiAbsDiff =
+            std::fabs(res.predicted.branchMpki() -
+                      filtered_mpki(res.fullSim.branchMispredicts));
+        res.l2MpkiAbsDiff = std::fabs(
+            res.predicted.l2Mpki() - filtered_mpki(res.fullSim.l2Misses));
+
+        if (res.wallRegionsTotalSeconds > 0.0)
+            res.actualSerialSpeedup =
+                res.wallFullSeconds / res.wallRegionsTotalSeconds;
+        if (res.wallRegionsMaxSeconds > 0.0)
+            res.actualParallelSpeedup =
+                res.wallFullSeconds / res.wallRegionsMaxSeconds;
+    }
+    return res;
+}
+
+} // namespace looppoint

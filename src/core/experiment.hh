@@ -1,0 +1,75 @@
+/**
+ * @file
+ * End-to-end experiment runner: the programmatic equivalent of the
+ * artifact's run-looppoint.py. Runs the LoopPoint analysis on one
+ * app/input/thread/policy combination, simulates the looppoints and
+ * (optionally) the full application, and reports prediction errors and
+ * speedups — everything the paper's evaluation figures are built from.
+ */
+
+#ifndef LOOPPOINT_CORE_EXPERIMENT_HH
+#define LOOPPOINT_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/looppoint.hh"
+#include "workload/descriptor.hh"
+
+namespace looppoint {
+
+/** What to run. */
+struct ExperimentConfig
+{
+    std::string app = "demo-matrix";
+    InputClass input = InputClass::Train;
+    uint32_t requestedThreads = 8;
+    WaitPolicy waitPolicy = WaitPolicy::Passive;
+    SimConfig sim;
+    LoopPointOptions loopPoint;
+    /** Constrained (PinPlay-ordered) region simulation. */
+    bool constrainedRegions = false;
+    /**
+     * Simulate the whole application in detail for ground truth.
+     * Disable for ref-style inputs where only the analysis phase and
+     * theoretical speedups are wanted (paper Fig. 9).
+     */
+    bool simulateFull = true;
+};
+
+/** Everything the evaluation needs, for one experiment. */
+struct ExperimentResult
+{
+    std::string app;
+    uint32_t threads = 0;
+    LoopPointResult analysis;
+    std::vector<SimMetrics> regionMetrics;
+    MetricPrediction predicted;
+    SimMetrics fullSim;      ///< valid when cfg.simulateFull
+    bool haveFullSim = false;
+
+    /** |predicted - actual| runtime error in percent. */
+    double runtimeErrorPct = 0.0;
+    double cyclesErrorPct = 0.0;
+    double branchMpkiAbsDiff = 0.0;
+    double l2MpkiAbsDiff = 0.0;
+
+    double theoreticalSerialSpeedup = 0.0;
+    double theoreticalParallelSpeedup = 0.0;
+    /** Measured simulator wall-clock speedups (when full sim ran). */
+    double actualSerialSpeedup = 0.0;
+    double actualParallelSpeedup = 0.0;
+
+    double wallFullSeconds = 0.0;
+    /** One-time checkpoint-generation (warming) pass. */
+    double wallCheckpointSeconds = 0.0;
+    double wallRegionsTotalSeconds = 0.0;
+    double wallRegionsMaxSeconds = 0.0;
+};
+
+/** Run one experiment end to end. */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_CORE_EXPERIMENT_HH

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The LoopPoint pipeline (paper Section III): record once, replay for
+ * DCFG + BBV profiling with spin filtering, cluster slices, select
+ * looppoints with multipliers, simulate them unconstrained (or
+ * constrained), and extrapolate whole-program performance.
+ *
+ * Usage:
+ *
+ *   LoopPointOptions opts;
+ *   LoopPointPipeline pipe(program, opts);
+ *   LoopPointResult lp = pipe.analyze();
+ *   std::vector<SimMetrics> region_metrics;
+ *   for (const auto &r : lp.regions)
+ *       region_metrics.push_back(pipe.simulateRegion(lp, r, sim_cfg));
+ *   MetricPrediction pred = extrapolateMetrics(lp, region_metrics,
+ *                                              sim_cfg);
+ */
+
+#ifndef LOOPPOINT_CORE_LOOPPOINT_HH
+#define LOOPPOINT_CORE_LOOPPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.hh"
+#include "isa/program.hh"
+#include "pinball/pinball.hh"
+#include "profile/bbv.hh"
+#include "sim/config.hh"
+#include "sim/multicore.hh"
+
+namespace looppoint {
+
+/** Tunables of the analysis phase. */
+struct LoopPointOptions
+{
+    uint32_t numThreads = 8;
+    WaitPolicy waitPolicy = WaitPolicy::Passive;
+    /**
+     * Per-thread slice-size target; the global slice size is
+     * numThreads x this (the paper's N x 100M rule, scaled to the
+     * synthetic workload sizes).
+     */
+    uint64_t sliceSizePerThread = 100'000;
+    uint32_t maxK = 50;
+    uint32_t projectionDims = 100;
+    double bicThreshold = 0.9;
+    uint64_t seed = 42;
+    uint64_t flowQuantum = 1000;
+    /**
+     * Filter synchronization-library code out of BBVs and instruction
+     * counts (the paper's method). Disable only for ablation.
+     */
+    bool filterSpin = true;
+};
+
+/** One selected representative region ("looppoint"). */
+struct LoopPointRegion
+{
+    uint32_t cluster = 0;
+    /** Index of the representative slice. */
+    uint32_t sliceIndex = 0;
+    Marker start;
+    Marker end;
+    /** Filtered instructions in the representative slice. */
+    uint64_t filteredIcount = 0;
+    /** Eq. (2): cluster work / representative work. */
+    double multiplier = 1.0;
+};
+
+/** Complete analysis output. */
+struct LoopPointResult
+{
+    Pinball pinball;
+    std::vector<SliceRecord> slices;
+    std::vector<uint32_t> assignment; ///< slice -> cluster
+    uint32_t chosenK = 0;
+    std::vector<double> bicByK;
+    std::vector<LoopPointRegion> regions;
+    uint64_t totalFilteredIcount = 0;
+    uint64_t totalIcount = 0;
+
+    /** Work reduction with regions simulated back-to-back. */
+    double theoreticalSerialSpeedup() const;
+    /** Work reduction with all regions simulated in parallel. */
+    double theoreticalParallelSpeedup() const;
+};
+
+/** Whole-program predictions from simulated looppoints (Eq. 1). */
+struct MetricPrediction
+{
+    double runtimeSeconds = 0.0;
+    double cycles = 0.0;
+    double instructions = 0.0;
+    /** Extrapolated main-image instructions (exact by Eq. 2 closure). */
+    double filteredInstructions = 0.0;
+    double branchMispredicts = 0.0;
+    double l1dMisses = 0.0;
+    double l2Misses = 0.0;
+    double l3Misses = 0.0;
+
+    // MPKI rates are normalized by *filtered* (main-image)
+    // instructions: spin instruction counts are timing-dependent, so
+    // a total-instruction denominator would inject artificial noise
+    // into the comparison under active waiting.
+    double
+    branchMpki() const
+    {
+        return filteredInstructions
+                   ? 1000.0 * branchMispredicts / filteredInstructions
+                   : 0.0;
+    }
+    double
+    l2Mpki() const
+    {
+        return filteredInstructions
+                   ? 1000.0 * l2Misses / filteredInstructions
+                   : 0.0;
+    }
+    double
+    l3Mpki() const
+    {
+        return filteredInstructions
+                   ? 1000.0 * l3Misses / filteredInstructions
+                   : 0.0;
+    }
+};
+
+/** See file comment. */
+class LoopPointPipeline
+{
+  public:
+    LoopPointPipeline(const Program &prog, LoopPointOptions opts);
+
+    /** Run the full analysis: record, profile, cluster, select. */
+    LoopPointResult analyze();
+
+    /**
+     * Simulate one looppoint unconstrained with warmup and return its
+     * metrics. Set `constrained` for PinPlay-style constrained replay
+     * (introduces artificial stalls; Section V-A.1).
+     */
+    SimMetrics simulateRegion(const LoopPointResult &lp,
+                              const LoopPointRegion &region,
+                              const SimConfig &sim_cfg,
+                              bool constrained = false) const;
+
+    /** Detailed simulation of the entire program (ground truth). */
+    SimMetrics simulateFull(const SimConfig &sim_cfg) const;
+
+    /** Result of checkpoint-driven simulation of all looppoints. */
+    struct CheckpointedSimResult
+    {
+        /** Per-region metrics, ordered like LoopPointResult::regions. */
+        std::vector<SimMetrics> regionMetrics;
+        /** Detailed-simulation wall time per region (seconds). */
+        std::vector<double> regionWallSeconds;
+        /** One-time warming/checkpoint-generation pass (seconds). */
+        double checkpointWallSeconds = 0.0;
+    };
+
+    /**
+     * Checkpoint-driven simulation (the paper's headline deployment):
+     * one flow-controlled warming pass over the program snapshots the
+     * full simulation state (functional cursors + caches + predictors
+     * + clocks) at every looppoint boundary — the region-pinball
+     * analog — and each region then simulates independently from its
+     * checkpoint. Region wall times therefore exclude the shared
+     * analysis pass and are what parallel deployment would see.
+     */
+    CheckpointedSimResult simulateRegionsCheckpointed(
+        const LoopPointResult &lp, const SimConfig &sim_cfg,
+        bool constrained = false) const;
+
+    const LoopPointOptions &options() const { return opts; }
+
+  private:
+    ExecConfig execConfig() const;
+
+    const Program *prog;
+    LoopPointOptions opts;
+};
+
+/**
+ * Eq. (1) extrapolation over any additive metric; runtime uses the
+ * frequency from `sim_cfg`.
+ */
+MetricPrediction extrapolateMetrics(
+    const LoopPointResult &lp,
+    const std::vector<SimMetrics> &region_metrics,
+    const SimConfig &sim_cfg);
+
+/**
+ * Build the (projected) clustering feature matrix from slices:
+ * instruction-weighted, normalized, per-thread-concatenated BBVs under
+ * a deterministic random projection. Exposed for tests and ablations.
+ */
+FeatureMatrix buildFeatureMatrix(const Program &prog,
+                                 const std::vector<SliceRecord> &slices,
+                                 uint32_t dims, uint64_t seed);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_CORE_LOOPPOINT_HH

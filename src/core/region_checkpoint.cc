@@ -1,0 +1,227 @@
+#include "core/region_checkpoint.hh"
+
+#include <iomanip>
+#include <istream>
+#include <memory>
+#include <ostream>
+
+#include "exec/driver.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+void
+saveOrderTable(std::ostream &os, const char *tag,
+               const std::vector<std::vector<uint32_t>> &table)
+{
+    os << tag << ' ' << table.size() << '\n';
+    for (const auto &row : table) {
+        os << row.size();
+        for (uint32_t tid : row)
+            os << ' ' << tid;
+        os << '\n';
+    }
+}
+
+std::vector<std::vector<uint32_t>>
+loadOrderTable(std::istream &is, const char *tag)
+{
+    std::string got;
+    size_t rows = 0;
+    if (!(is >> got >> rows) || got != tag)
+        fatal("region pinball parse error: expected '%s' table", tag);
+    std::vector<std::vector<uint32_t>> table(rows);
+    for (auto &row : table) {
+        size_t n = 0;
+        if (!(is >> n))
+            fatal("region pinball parse error in '%s' table", tag);
+        row.resize(n);
+        for (auto &tid : row)
+            if (!(is >> tid))
+                fatal("region pinball parse error in '%s' row", tag);
+    }
+    return table;
+}
+
+} // namespace
+
+void
+RegionPinball::save(std::ostream &os) const
+{
+    os << std::setprecision(17);
+    os << "looppoint-region-pinball-v1\n";
+    os << "app " << app << '\n';
+    os << "input " << inputClassName(input) << '\n';
+    os << "threads " << config.numThreads << '\n';
+    os << "waitpolicy "
+       << (config.waitPolicy == WaitPolicy::Active ? "active"
+                                                   : "passive")
+       << '\n';
+    os << "seed " << config.seed << '\n';
+    os << "start " << start.pc << ' ' << start.count << '\n';
+    os << "end " << end.pc << ' ' << end.count << '\n';
+    os << "multiplier " << multiplier << '\n';
+    os << "icount " << filteredIcount << '\n';
+    saveOrderTable(os, "locks", log.lockOrder);
+    saveOrderTable(os, "chunks", log.chunkOrder);
+}
+
+RegionPinball
+RegionPinball::load(std::istream &is)
+{
+    RegionPinball rp;
+    std::string line, key, value;
+    if (!std::getline(is, line) ||
+        line != "looppoint-region-pinball-v1")
+        fatal("not a looppoint region pinball (bad magic)");
+    if (!(is >> key >> rp.app) || key != "app")
+        fatal("region pinball parse error: app");
+    if (!(is >> key >> value) || key != "input")
+        fatal("region pinball parse error: input");
+    bool found = false;
+    for (InputClass c : {InputClass::Test, InputClass::Train,
+                         InputClass::Ref, InputClass::NpbA,
+                         InputClass::NpbC, InputClass::NpbD}) {
+        if (value == inputClassName(c)) {
+            rp.input = c;
+            found = true;
+        }
+    }
+    if (!found)
+        fatal("region pinball parse error: unknown input class '%s'",
+              value.c_str());
+    if (!(is >> key >> rp.config.numThreads) || key != "threads")
+        fatal("region pinball parse error: threads");
+    if (!(is >> key >> value) || key != "waitpolicy")
+        fatal("region pinball parse error: waitpolicy");
+    rp.config.waitPolicy = value == "active" ? WaitPolicy::Active
+                                             : WaitPolicy::Passive;
+    if (!(is >> key >> rp.config.seed) || key != "seed")
+        fatal("region pinball parse error: seed");
+    if (!(is >> key >> rp.start.pc >> rp.start.count) || key != "start")
+        fatal("region pinball parse error: start");
+    if (!(is >> key >> rp.end.pc >> rp.end.count) || key != "end")
+        fatal("region pinball parse error: end");
+    if (!(is >> key >> rp.multiplier) || key != "multiplier")
+        fatal("region pinball parse error: multiplier");
+    if (!(is >> key >> rp.filteredIcount) || key != "icount")
+        fatal("region pinball parse error: icount");
+    rp.log.lockOrder = loadOrderTable(is, "locks");
+    rp.log.chunkOrder = loadOrderTable(is, "chunks");
+    return rp;
+}
+
+std::vector<RegionPinball>
+exportRegionPinballs(const AppDescriptor &app, InputClass input,
+                     const LoopPointOptions &opts,
+                     const LoopPointResult &lp)
+{
+    std::vector<RegionPinball> out;
+    for (const auto &region : lp.regions) {
+        RegionPinball rp;
+        rp.app = app.name;
+        rp.input = input;
+        rp.config.numThreads = opts.numThreads;
+        rp.config.waitPolicy = opts.waitPolicy;
+        rp.config.seed = opts.seed;
+        rp.log = lp.pinball.log;
+        rp.start = region.start;
+        rp.end = region.end;
+        rp.multiplier = region.multiplier;
+        rp.filteredIcount = region.filteredIcount;
+        out.push_back(std::move(rp));
+    }
+    return out;
+}
+
+RestoredCheckpoint
+restoreCheckpoint(const RegionPinball &rp)
+{
+    auto program = std::make_unique<Program>(
+        generateProgram(findApp(rp.app), rp.input));
+
+    ExecutionEngine engine(*program, rp.config);
+    if (rp.start.pc != 0 && rp.start.count > 0) {
+        auto pc_index = buildPcIndex(*program);
+        auto it = pc_index.find(rp.start.pc);
+        if (it == pc_index.end())
+            fatal("region pinball start pc %#llx not in program",
+                  static_cast<unsigned long long>(rp.start.pc));
+        BlockId start_block = it->second;
+        RoundRobinDriver driver(engine, 1000);
+        driver.run(nullptr, [&] {
+            return engine.blockExecCount(start_block) >= rp.start.count;
+        });
+        if (engine.blockExecCount(start_block) < rp.start.count)
+            fatal("region pinball start marker never reached "
+                  "(mismatched workload?)");
+    }
+    Checkpoint ckpt{engine, engine.globalIcount(),
+                    engine.globalFilteredIcount()};
+    return RestoredCheckpoint{std::move(program), std::move(ckpt)};
+}
+
+SimMetrics
+simulateRegionPinball(const RegionPinball &rp, const SimConfig &sim_cfg)
+{
+    Program prog = generateProgram(findApp(rp.app), rp.input);
+    MulticoreSim sim(prog, rp.config, sim_cfg);
+    return sim.runRegion(rp.start.pc, rp.start.count, rp.end.pc,
+                         rp.end.count);
+}
+
+void
+saveElfie(std::ostream &os, const RegionPinball &rp)
+{
+    RestoredCheckpoint rc = restoreCheckpoint(rp);
+    os << std::setprecision(17);
+    os << "looppoint-elfie-v1\n";
+    os << "app " << rp.app << '\n';
+    os << "input " << inputClassName(rp.input) << '\n';
+    os << "end " << rp.end.pc << ' ' << rp.end.count << '\n';
+    os << "multiplier " << rp.multiplier << '\n';
+    rc.checkpoint.engine.save(os);
+}
+
+RestoredElfie
+loadElfie(std::istream &is)
+{
+    std::string line, key, value;
+    if (!std::getline(is, line) || line != "looppoint-elfie-v1")
+        fatal("not a looppoint ELFie (bad magic)");
+    std::string app;
+    if (!(is >> key >> app) || key != "app")
+        fatal("ELFie parse error: app");
+    if (!(is >> key >> value) || key != "input")
+        fatal("ELFie parse error: input");
+    InputClass input = InputClass::Train;
+    bool found = false;
+    for (InputClass c : {InputClass::Test, InputClass::Train,
+                         InputClass::Ref, InputClass::NpbA,
+                         InputClass::NpbC, InputClass::NpbD}) {
+        if (value == inputClassName(c)) {
+            input = c;
+            found = true;
+        }
+    }
+    if (!found)
+        fatal("ELFie parse error: unknown input class '%s'",
+              value.c_str());
+    Marker end;
+    double multiplier = 1.0;
+    if (!(is >> key >> end.pc >> end.count) || key != "end")
+        fatal("ELFie parse error: end");
+    if (!(is >> key >> multiplier) || key != "multiplier")
+        fatal("ELFie parse error: multiplier");
+    is.ignore(); // trailing newline before the engine block
+
+    auto program = std::make_unique<Program>(
+        generateProgram(findApp(app), input));
+    ExecutionEngine engine = ExecutionEngine::load(is, *program);
+    return RestoredElfie{std::move(program), std::move(engine), end,
+                         multiplier};
+}
+
+} // namespace looppoint

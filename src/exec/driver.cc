@@ -1,0 +1,51 @@
+#include "exec/driver.hh"
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+RoundRobinDriver::RoundRobinDriver(ExecutionEngine &engine_,
+                                   uint64_t quantum_instrs)
+    : engine(engine_), quantum(quantum_instrs)
+{
+    if (quantum == 0)
+        fatal("RoundRobinDriver: quantum must be >= 1");
+}
+
+void
+RoundRobinDriver::run(ExecListener *listener,
+                      const std::function<bool()> &stop)
+{
+    const uint32_t n = engine.numThreads();
+    while (!engine.allFinished()) {
+        if (stop && stop())
+            return;
+        bool progressed = false;
+        for (uint32_t i = 0; i < n; ++i) {
+            uint32_t tid = (nextThread + i) % n;
+            if (!engine.runnable(tid))
+                continue;
+            uint64_t start = engine.icount(tid);
+            while (engine.icount(tid) - start < quantum) {
+                StepResult r = engine.step(tid);
+                if (r.kind == StepResult::Kind::Block) {
+                    progressed = true;
+                    ++totalSteps;
+                    if (listener)
+                        listener->onBlock(tid, r.block, engine);
+                    if (stop && stop()) {
+                        nextThread = (tid + 1) % n;
+                        return;
+                    }
+                } else {
+                    break; // Blocked or Finished
+                }
+            }
+        }
+        if (!progressed && !engine.allFinished())
+            panic("RoundRobinDriver: no thread can make progress "
+                  "(replay log mismatch?)");
+    }
+}
+
+} // namespace looppoint

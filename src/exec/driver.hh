@@ -1,0 +1,58 @@
+/**
+ * @file
+ * RoundRobinDriver: the flow-controlled functional scheduler used for
+ * recording and reproducible profiling.
+ *
+ * The paper's analysis phase enforces equal forward progress across
+ * threads ("flow control", Section III-B) so the collected profile is
+ * independent of host-machine load. We reproduce that with a
+ * deterministic round-robin schedule with a fixed per-turn instruction
+ * quantum.
+ */
+
+#ifndef LOOPPOINT_EXEC_DRIVER_HH
+#define LOOPPOINT_EXEC_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "exec/engine.hh"
+#include "exec/listener.hh"
+
+namespace looppoint {
+
+/** Deterministic round-robin functional driver. */
+class RoundRobinDriver
+{
+  public:
+    /**
+     * @param engine the engine to drive (not owned)
+     * @param quantum_instrs instructions a thread may advance per turn
+     */
+    explicit RoundRobinDriver(ExecutionEngine &engine,
+                              uint64_t quantum_instrs = 1000);
+
+    /**
+     * Run until all threads finish or `stop` returns true. `listener`
+     * (optional) observes every executed block.
+     *
+     * Panics if no thread can make progress (replay log mismatch or an
+     * engine bug); a well-formed program cannot deadlock under the
+     * default arbiter.
+     */
+    void run(ExecListener *listener = nullptr,
+             const std::function<bool()> &stop = {});
+
+    /** Total block steps executed across run() calls. */
+    uint64_t steps() const { return totalSteps; }
+
+  private:
+    ExecutionEngine &engine;
+    uint64_t quantum;
+    uint64_t totalSteps = 0;
+    uint32_t nextThread = 0;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_EXEC_DRIVER_HH

@@ -1,0 +1,657 @@
+#include "exec/engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+/** Default arbiter: scheduling order decides everything. */
+SyncArbiter defaultArbiter;
+
+// Synthetic address-space layout. Regions are widely separated; the
+// cache models only care about bit patterns, not about a real mapping.
+constexpr Addr kSyncRegion = 0xFull << 40;
+constexpr Addr kStackRegion = 0xEull << 40;
+
+Addr
+syncAddr(uint32_t kind, uint32_t obj)
+{
+    return kSyncRegion | (static_cast<Addr>(kind) << 24) |
+           (static_cast<Addr>(obj) * 64);
+}
+
+Addr
+privStreamBase(uint32_t gsi, uint32_t tid)
+{
+    return (static_cast<Addr>(0x100 + gsi) << 36) |
+           (static_cast<Addr>(tid) << 30);
+}
+
+Addr
+sharedStreamBase(uint32_t gsi)
+{
+    return static_cast<Addr>(0x800 + gsi) << 36;
+}
+
+} // namespace
+
+ExecutionEngine::ExecutionEngine(const Program &prog_,
+                                 const ExecConfig &cfg_,
+                                 SyncArbiter *arbiter_)
+    : prog(&prog_), cfg(cfg_),
+      arbiter(arbiter_ ? arbiter_ : &defaultArbiter)
+{
+    if (cfg.numThreads < 1)
+        fatal("ExecutionEngine: numThreads must be >= 1");
+    cursors.resize(cfg.numThreads);
+    for (uint32_t t = 0; t < cfg.numThreads; ++t) {
+        Cursor &c = cursors[t];
+        c.rng = Rng(hashCombine(cfg.seed, 0x1000 + t));
+        c.addrRng = Rng(hashCombine(cfg.seed, 0x2000 + t));
+        c.streamPos.resize(prog->kernels.size());
+        for (size_t k = 0; k < prog->kernels.size(); ++k)
+            c.streamPos[k].assign(prog->kernels[k].streams.size(), 0);
+    }
+    barriers.resize(prog->runList.size());
+    chunks.resize(prog->runList.size());
+    locks.resize(std::max<uint32_t>(1, prog->numLocks));
+    blockCounts.assign(prog->blocks.size(), 0);
+}
+
+const LoweredKernel &
+ExecutionEngine::curKernel(const Cursor &c) const
+{
+    return prog->kernels[prog->runList[c.runPos]];
+}
+
+bool
+ExecutionEngine::runnable(uint32_t tid) const
+{
+    const Cursor &c = cursors[tid];
+    return c.runnable && c.st != St::Done;
+}
+
+bool
+ExecutionEngine::finished(uint32_t tid) const
+{
+    return cursors[tid].st == St::Done;
+}
+
+bool
+ExecutionEngine::allFinished() const
+{
+    return finishedCount == cfg.numThreads;
+}
+
+const std::vector<MemRef> &
+ExecutionEngine::memRefs(uint32_t tid) const
+{
+    return cursors[tid].memRefs;
+}
+
+uint64_t
+ExecutionEngine::icount(uint32_t tid) const
+{
+    return cursors[tid].icount;
+}
+
+uint64_t
+ExecutionEngine::filteredIcount(uint32_t tid) const
+{
+    return cursors[tid].filteredIcount;
+}
+
+uint64_t
+ExecutionEngine::globalIcount() const
+{
+    uint64_t sum = 0;
+    for (const auto &c : cursors)
+        sum += c.icount;
+    return sum;
+}
+
+uint64_t
+ExecutionEngine::globalFilteredIcount() const
+{
+    uint64_t sum = 0;
+    for (const auto &c : cursors)
+        sum += c.filteredIcount;
+    return sum;
+}
+
+uint32_t
+ExecutionEngine::runPosition(uint32_t tid) const
+{
+    return cursors[tid].runPos;
+}
+
+void
+ExecutionEngine::blockThread(uint32_t tid, WaitKind kind, uint32_t obj)
+{
+    Cursor &c = cursors[tid];
+    c.runnable = false;
+    c.waitKind = kind;
+    c.waitObj = obj;
+}
+
+void
+ExecutionEngine::wakeWaiters(WaitKind kind, uint32_t obj)
+{
+    for (auto &c : cursors) {
+        if (!c.runnable && c.waitKind == kind && c.waitObj == obj) {
+            c.runnable = true;
+            c.waitKind = WaitKind::None;
+            c.emittedFutex = false;
+        }
+    }
+}
+
+void
+ExecutionEngine::assignStaticRange(uint32_t tid)
+{
+    Cursor &c = cursors[tid];
+    const LoweredKernel &k = curKernel(c);
+    const uint32_t n = cfg.numThreads;
+    // Weight thread t by 1 + imbalance * (n - 1 - t): imbalance 0 means
+    // equal shares; larger values skew work toward low thread ids.
+    double total_w = 0.0;
+    for (uint32_t t = 0; t < n; ++t)
+        total_w += 1.0 + k.imbalance * static_cast<double>(n - 1 - t);
+    double w_before = 0.0;
+    for (uint32_t t = 0; t < tid; ++t)
+        w_before += 1.0 + k.imbalance * static_cast<double>(n - 1 - t);
+    double w_self = 1.0 + k.imbalance * static_cast<double>(n - 1 - tid);
+    auto iters = static_cast<double>(k.parallelIters);
+    c.iterCur = static_cast<uint64_t>(iters * w_before / total_w);
+    c.iterEnd =
+        static_cast<uint64_t>(iters * (w_before + w_self) / total_w);
+    if (tid == n - 1)
+        c.iterEnd = k.parallelIters;
+}
+
+bool
+ExecutionEngine::tryFetchChunk(uint32_t tid)
+{
+    Cursor &c = cursors[tid];
+    const LoweredKernel &k = curKernel(c);
+    ChunkState &ch = chunks[c.runPos];
+    if (ch.next >= k.parallelIters)
+        return false;
+    if (!arbiter->mayFetchChunk(c.runPos, tid))
+        return false;
+    c.iterCur = ch.next;
+    c.iterEnd = std::min(ch.next + k.chunkSize, k.parallelIters);
+    ch.next = c.iterEnd;
+    c.participated = true;
+    arbiter->onChunkFetched(c.runPos, tid);
+    // The front of the replay queue may have changed: let passive
+    // waiters re-evaluate.
+    wakeWaiters(WaitKind::Chunk, c.runPos);
+    return true;
+}
+
+bool
+ExecutionEngine::tryAcquireLock(uint32_t tid, uint32_t lock_id)
+{
+    LockState &l = locks[lock_id];
+    if (l.held)
+        return false;
+    if (!arbiter->mayAcquireLock(lock_id, tid))
+        return false;
+    l.held = true;
+    l.owner = tid;
+    arbiter->onLockAcquired(lock_id, tid);
+    return true;
+}
+
+void
+ExecutionEngine::releaseLock(uint32_t tid, uint32_t lock_id)
+{
+    LockState &l = locks[lock_id];
+    LP_ASSERT(l.held && l.owner == tid);
+    l.held = false;
+    wakeWaiters(WaitKind::Lock, lock_id);
+}
+
+void
+ExecutionEngine::genBlockAddresses(uint32_t tid, const BasicBlock &bb)
+{
+    Cursor &c = cursors[tid];
+    c.memRefs.clear();
+    const RuntimeBlocks &rt = prog->runtime;
+
+    // Synchronization-library blocks touch the relevant sync object's
+    // cache line, producing real coherence traffic in the timing model.
+    if (bb.image != ImageId::Main) {
+        uint32_t kind = 0, obj = 0;
+        BlockId id = bb.id;
+        if (id == rt.barrierEnter || id == rt.barrierExit) {
+            kind = 1;
+            obj = c.runPos;
+        } else if (id == rt.spinWait) {
+            kind = c.waitKind == WaitKind::Chunk ? 2 : 1;
+            obj = c.runPos;
+        } else if (id == rt.chunkFetch) {
+            kind = 2;
+            obj = c.runPos;
+        } else if (id == rt.lockAcquire || id == rt.lockSpin ||
+                   id == rt.lockRelease) {
+            kind = 3;
+            obj = c.curLock;
+        } else if (id == rt.futexWait) {
+            kind = 4;
+            obj = c.waitObj;
+        } else if (id == rt.atomicStub) {
+            kind = 5;
+            obj = prog->runList[c.runPos];
+        }
+        for (size_t i = 0; i < bb.instrs.size(); ++i) {
+            const InstrDesc &d = bb.instrs[i];
+            if (!isMemOp(d.op))
+                continue;
+            c.memRefs.push_back({syncAddr(kind, obj),
+                                 static_cast<uint16_t>(i),
+                                 isMemWrite(d.op)});
+        }
+        return;
+    }
+
+    // The kernel-exit block is emitted after runPos has advanced;
+    // clamp so the lookup stays valid at program end. Entry/exit
+    // blocks carry no streams, so the clamped index is never used for
+    // stream selection in that case.
+    const uint32_t run_pos = std::min<uint32_t>(
+        c.runPos, static_cast<uint32_t>(prog->runList.size() - 1));
+    const uint32_t kidx = prog->runList[run_pos];
+    const LoweredKernel &k = prog->kernels[kidx];
+    for (size_t i = 0; i < bb.instrs.size(); ++i) {
+        const InstrDesc &d = bb.instrs[i];
+        if (!isMemOp(d.op))
+            continue;
+        Addr addr;
+        if (d.memStream == kNoStream || d.memStream >= k.streams.size()) {
+            // Stack/scalar traffic: a small, hot per-thread region.
+            addr = kStackRegion | (static_cast<Addr>(tid) << 20) |
+                   ((c.stackCursor * 8) & 0xfff);
+            ++c.stackCursor;
+        } else {
+            const MemStream &s = k.streams[d.memStream];
+            const uint32_t gsi = kidx * 16 + d.memStream;
+            const uint64_t stride = std::max<uint32_t>(1, s.strideBytes);
+            const uint64_t footprint = std::max<uint64_t>(64,
+                                                          s.footprintBytes);
+            uint64_t pos;
+            if (s.shared) {
+                // Iteration-tied access: the data an iteration touches
+                // is the same no matter which thread executes it.
+                pos = c.iterCur * 64 + c.iterAccessCursor;
+                ++c.iterAccessCursor;
+                if (s.jumpProb > 0.0 && c.addrRng.nextBool(s.jumpProb))
+                    pos = c.addrRng.nextBounded(footprint / stride + 1);
+                addr = sharedStreamBase(gsi) +
+                       (pos * stride) % footprint;
+            } else {
+                uint64_t &cursor = c.streamPos[kidx][d.memStream];
+                if (s.jumpProb > 0.0 && c.addrRng.nextBool(s.jumpProb))
+                    cursor = c.addrRng.nextBounded(footprint / stride + 1);
+                pos = cursor++;
+                addr = privStreamBase(gsi, tid) +
+                       (pos * stride) % footprint;
+            }
+        }
+        c.memRefs.push_back({addr, static_cast<uint16_t>(i),
+                             isMemWrite(d.op)});
+    }
+}
+
+StepResult
+ExecutionEngine::emit(uint32_t tid, BlockId block)
+{
+    Cursor &c = cursors[tid];
+    const BasicBlock &bb = prog->blocks[block];
+    ++blockCounts[block];
+    c.icount += bb.numInstrs();
+    if (bb.image == ImageId::Main)
+        c.filteredIcount += bb.numInstrs();
+    if (cfg.genAddresses)
+        genBlockAddresses(tid, bb);
+    return {StepResult::Kind::Block, block};
+}
+
+double
+ExecutionEngine::iterationDraw(Cursor &c)
+{
+    const uint32_t kidx = prog->runList[c.runPos];
+    uint64_t h = hashCombine(
+        hashCombine(cfg.seed,
+                    (static_cast<uint64_t>(kidx) << 40) | c.iterCur),
+        ++c.drawCursor);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+BlockId
+ExecutionEngine::walkBody(uint32_t tid, bool &blocked)
+{
+    Cursor &c = cursors[tid];
+    blocked = false;
+    while (!c.stack.empty()) {
+        Frame &f = c.stack.back();
+        if (f.stage == 0) {
+            f.stage = 1;
+            f.idx = 0;
+            f.sub = 0;
+            if (f.loop)
+                return f.loop->blocks[0]; // loop header
+            continue;
+        }
+        if (f.stage == 1) {
+            if (f.idx >= f.items->size()) {
+                f.stage = 2;
+                continue;
+            }
+            const BodyItem &item = (*f.items)[f.idx];
+            switch (item.kind) {
+              case BodyItem::Kind::Block:
+              case BodyItem::Kind::Atomic:
+                ++f.idx;
+                return item.blocks[0];
+              case BodyItem::Kind::Cond:
+                if (f.sub == 0) {
+                    f.condTaken = iterationDraw(c) < item.prob;
+                    c.branchTaken = f.condTaken;
+                    f.sub = 1;
+                    return item.blocks[0];
+                }
+                if (f.sub == 1) {
+                    f.sub = 2;
+                    return f.condTaken ? item.blocks[1] : item.blocks[2];
+                }
+                f.sub = 0;
+                ++f.idx;
+                return item.blocks[3];
+              case BodyItem::Kind::Loop: {
+                uint64_t trips = item.trips;
+                if (item.tripJitter > 0) {
+                    uint64_t span = 2ull * item.tripJitter + 1;
+                    int64_t j = static_cast<int64_t>(
+                                    iterationDraw(c) *
+                                    static_cast<double>(span)) -
+                                static_cast<int64_t>(item.tripJitter);
+                    int64_t t = static_cast<int64_t>(trips) + j;
+                    trips = t < 1 ? 1 : static_cast<uint64_t>(t);
+                }
+                ++f.idx;
+                f.sub = 0;
+                Frame child;
+                child.loop = &item;
+                child.items = &item.children;
+                child.stage = 0;
+                child.tripsLeft = trips;
+                c.stack.push_back(child); // invalidates f
+                continue;
+              }
+              case BodyItem::Kind::Critical:
+                c.curLock = item.lockId;
+                if (f.sub == 0) {
+                    // Emit the acquire stub, then either enter the CS
+                    // next step or start waiting.
+                    f.sub = tryAcquireLock(tid, item.lockId) ? 2 : 1;
+                    return item.blocks[0];
+                }
+                if (f.sub == 1) {
+                    if (tryAcquireLock(tid, item.lockId)) {
+                        f.sub = 3;
+                        return item.blocks[1]; // critical section
+                    }
+                    if (cfg.waitPolicy == WaitPolicy::Active)
+                        return prog->runtime.lockSpin;
+                    if (!c.emittedFutex) {
+                        c.emittedFutex = true;
+                        c.waitKind = WaitKind::Lock;
+                        c.waitObj = item.lockId;
+                        return prog->runtime.futexWait;
+                    }
+                    blockThread(tid, WaitKind::Lock, item.lockId);
+                    blocked = true;
+                    return kInvalidBlock;
+                }
+                if (f.sub == 2) {
+                    f.sub = 3;
+                    return item.blocks[1]; // critical section
+                }
+                // f.sub == 3: leave the critical section.
+                releaseLock(tid, item.lockId);
+                f.sub = 0;
+                ++f.idx;
+                return item.blocks[2]; // release stub
+              default:
+                panic("walkBody: bad item kind");
+            }
+        }
+        // f.stage == 2: end of this frame's item list.
+        if (f.loop) {
+            BlockId latch = f.loop->blocks[1];
+            if (--f.tripsLeft > 0) {
+                f.stage = 0;
+                c.branchTaken = true; // back edge
+            } else {
+                c.stack.pop_back();
+                c.branchTaken = false; // loop exit
+            }
+            return latch;
+        }
+        c.stack.pop_back();
+        return kInvalidBlock; // top-level body finished
+    }
+    return kInvalidBlock;
+}
+
+StepResult
+ExecutionEngine::step(uint32_t tid)
+{
+    LP_ASSERT(tid < cfg.numThreads);
+    Cursor &c = cursors[tid];
+    const RuntimeBlocks &rt = prog->runtime;
+    // Default branch direction; decision sites below override it.
+    c.branchTaken = true;
+
+    for (;;) {
+        switch (c.st) {
+          case St::Done:
+            return {StepResult::Kind::Finished, kInvalidBlock};
+
+          case St::KernelEntry: {
+            const LoweredKernel &k = curKernel(c);
+            c.participated = false;
+            if (tid == 0) {
+                c.st = St::MasterPrologue;
+                return emit(tid, k.entryBlock);
+            }
+            c.st = St::MasterPrologue;
+            continue;
+          }
+
+          case St::MasterPrologue: {
+            const LoweredKernel &k = curKernel(c);
+            c.st = St::IterFetch;
+            if (tid == 0 && k.masterPrologue != kInvalidBlock)
+                return emit(tid, k.masterPrologue);
+            continue;
+          }
+
+          case St::IterFetch: {
+            const LoweredKernel &k = curKernel(c);
+            switch (k.sched) {
+              case SchedPolicy::Serial:
+                if (tid != 0) {
+                    c.st = St::BarrierEnter;
+                } else {
+                    c.iterCur = 0;
+                    c.iterEnd = k.parallelIters;
+                    c.participated = true;
+                    c.st = St::WorkerHeader;
+                }
+                continue;
+              case SchedPolicy::StaticFor:
+                assignStaticRange(tid);
+                c.participated = c.iterCur < c.iterEnd;
+                c.st = c.participated ? St::WorkerHeader
+                                      : St::ReductionStub;
+                continue;
+              case SchedPolicy::DynamicFor:
+                c.st = St::ChunkFetch;
+                continue;
+              default:
+                panic("bad sched policy");
+            }
+          }
+
+          case St::ChunkFetch: {
+            const LoweredKernel &k = curKernel(c);
+            if (chunks[c.runPos].next >= k.parallelIters) {
+                // Final (empty) probe of the shared iteration counter.
+                c.st = St::ReductionStub;
+                return emit(tid, rt.chunkFetch);
+            }
+            if (tryFetchChunk(tid)) {
+                c.st = St::WorkerHeader;
+                return emit(tid, rt.chunkFetch);
+            }
+            // Replay arbitration says it is not our turn yet.
+            if (cfg.waitPolicy == WaitPolicy::Active) {
+                c.waitKind = WaitKind::Chunk;
+                c.waitObj = c.runPos;
+                return emit(tid, rt.spinWait);
+            }
+            if (!c.emittedFutex) {
+                c.emittedFutex = true;
+                c.waitKind = WaitKind::Chunk;
+                c.waitObj = c.runPos;
+                return emit(tid, rt.futexWait);
+            }
+            blockThread(tid, WaitKind::Chunk, c.runPos);
+            return {StepResult::Kind::Blocked, kInvalidBlock};
+          }
+
+          case St::WorkerHeader: {
+            const LoweredKernel &k = curKernel(c);
+            c.iterAccessCursor = 0;
+            c.drawCursor = 0;
+            Frame top;
+            top.loop = nullptr;
+            top.items = &k.body;
+            top.stage = 1;
+            c.stack.clear();
+            c.stack.push_back(top);
+            c.st = St::Body;
+            return emit(tid, k.workerHeader);
+          }
+
+          case St::Body: {
+            bool blocked = false;
+            BlockId b = walkBody(tid, blocked);
+            if (blocked)
+                return {StepResult::Kind::Blocked, kInvalidBlock};
+            if (b == kInvalidBlock) {
+                c.st = St::WorkerLatch;
+                continue;
+            }
+            return emit(tid, b);
+          }
+
+          case St::WorkerLatch: {
+            const LoweredKernel &k = curKernel(c);
+            ++c.iterCur;
+            c.branchTaken = c.iterCur < c.iterEnd;
+            if (c.iterCur < c.iterEnd) {
+                c.st = St::WorkerHeader;
+            } else if (k.sched == SchedPolicy::DynamicFor) {
+                c.st = St::ChunkFetch;
+            } else {
+                c.st = St::ReductionStub;
+            }
+            return emit(tid, k.workerLatch);
+          }
+
+          case St::ReductionStub: {
+            const LoweredKernel &k = curKernel(c);
+            if (k.reductionTail != kInvalidBlock) {
+                c.st = St::ReductionTail;
+                return emit(tid, rt.atomicStub);
+            }
+            c.st = St::BarrierEnter;
+            continue;
+          }
+
+          case St::ReductionTail: {
+            const LoweredKernel &k = curKernel(c);
+            c.st = St::BarrierEnter;
+            return emit(tid, k.reductionTail);
+          }
+
+          case St::BarrierEnter: {
+            BarrierState &bar = barriers[c.runPos];
+            ++bar.arrivals;
+            LP_ASSERT(bar.arrivals <= cfg.numThreads);
+            if (bar.arrivals == cfg.numThreads) {
+                bar.released = true;
+                wakeWaiters(WaitKind::Barrier, c.runPos);
+                c.st = St::BarrierExit;
+            } else {
+                c.st = St::BarrierWait;
+                c.waitKind = WaitKind::Barrier;
+                c.waitObj = c.runPos;
+            }
+            return emit(tid, rt.barrierEnter);
+          }
+
+          case St::BarrierWait: {
+            if (barriers[c.runPos].released) {
+                c.st = St::BarrierExit;
+                c.waitKind = WaitKind::None;
+                c.emittedFutex = false;
+                continue;
+            }
+            if (cfg.waitPolicy == WaitPolicy::Active)
+                return emit(tid, rt.spinWait);
+            if (!c.emittedFutex) {
+                c.emittedFutex = true;
+                return emit(tid, rt.futexWait);
+            }
+            blockThread(tid, WaitKind::Barrier, c.runPos);
+            return {StepResult::Kind::Blocked, kInvalidBlock};
+          }
+
+          case St::BarrierExit: {
+            c.st = St::KernelExit;
+            return emit(tid, rt.barrierExit);
+          }
+
+          case St::KernelExit: {
+            const LoweredKernel &k = curKernel(c);
+            bool emit_exit = (tid == 0);
+            BlockId exit_block = k.exitBlock;
+            ++c.runPos;
+            c.emittedFutex = false;
+            c.waitKind = WaitKind::None;
+            if (c.runPos >= prog->runList.size()) {
+                c.st = St::Done;
+                ++finishedCount;
+            } else {
+                c.st = St::KernelEntry;
+            }
+            if (emit_exit)
+                return emit(tid, exit_block);
+            continue;
+          }
+
+          default:
+            panic("ExecutionEngine::step: bad state");
+        }
+    }
+}
+
+} // namespace looppoint

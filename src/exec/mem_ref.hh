@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Dynamic memory reference produced by the execution engine for the
+ * timing models and cache warmers.
+ */
+
+#ifndef LOOPPOINT_EXEC_MEM_REF_HH
+#define LOOPPOINT_EXEC_MEM_REF_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace looppoint {
+
+/** One dynamic memory access: address + direction. */
+struct MemRef
+{
+    Addr addr = 0;
+    /** Index of the instruction within its block. */
+    uint16_t instrIndex = 0;
+    bool isWrite = false;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_EXEC_MEM_REF_HH

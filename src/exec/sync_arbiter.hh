@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Arbitration hooks for nondeterministic synchronization outcomes.
+ *
+ * The execution engine resolves lock acquisitions and dynamic-for chunk
+ * grants through a SyncArbiter. The default arbiter lets any thread
+ * proceed (scheduling order decides, as on real hardware). The pinball
+ * recorder logs every resolution; the replay arbiter re-enforces the
+ * recorded order so a replay reproduces the recorded execution exactly,
+ * regardless of the replay scheduler — the PinPlay property LoopPoint's
+ * "reproducible analysis" requirement rests on.
+ */
+
+#ifndef LOOPPOINT_EXEC_SYNC_ARBITER_HH
+#define LOOPPOINT_EXEC_SYNC_ARBITER_HH
+
+#include <cstdint>
+
+namespace looppoint {
+
+/** Decides which thread wins each contended synchronization event. */
+class SyncArbiter
+{
+  public:
+    virtual ~SyncArbiter() = default;
+
+    /** May `tid` acquire lock `lock_id` now (lock itself is free)? */
+    virtual bool
+    mayAcquireLock(uint32_t lock_id, uint32_t tid)
+    {
+        (void)lock_id;
+        (void)tid;
+        return true;
+    }
+
+    /** Called after `tid` successfully acquired `lock_id`. */
+    virtual void
+    onLockAcquired(uint32_t lock_id, uint32_t tid)
+    {
+        (void)lock_id;
+        (void)tid;
+    }
+
+    /** May `tid` take the next dynamic-for chunk of run entry run_pos? */
+    virtual bool
+    mayFetchChunk(uint32_t run_pos, uint32_t tid)
+    {
+        (void)run_pos;
+        (void)tid;
+        return true;
+    }
+
+    /** Called after `tid` took a chunk of run entry run_pos. */
+    virtual void
+    onChunkFetched(uint32_t run_pos, uint32_t tid)
+    {
+        (void)run_pos;
+        (void)tid;
+    }
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_EXEC_SYNC_ARBITER_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static per-instruction descriptors.
+ *
+ * A basic block owns a short vector of InstrDesc. The descriptors are
+ * microarchitecture independent: dependence *distances* and a memory
+ * stream id, not concrete cycles or addresses. Concrete addresses are
+ * produced at execution time by the per-thread address generators in
+ * src/exec, so the same block produces different (but deterministic)
+ * address streams per thread and per execution position.
+ */
+
+#ifndef LOOPPOINT_ISA_INSTR_HH
+#define LOOPPOINT_ISA_INSTR_HH
+
+#include <cstdint>
+
+#include "isa/op_class.hh"
+
+namespace looppoint {
+
+/** Sentinel for "no memory stream" / "no dependence". */
+constexpr uint8_t kNoStream = 0xff;
+
+/**
+ * One static instruction.
+ *
+ * srcDist1/srcDist2 give the distance, in dynamic instructions, back to
+ * each producer (0 = no register dependence). The OoO model uses them to
+ * build a dependence chain without a real register file; they bound the
+ * exploitable ILP of the block exactly like real dataflow would.
+ */
+struct InstrDesc
+{
+    OpClass op = OpClass::IntAlu;
+    uint8_t srcDist1 = 0;
+    uint8_t srcDist2 = 0;
+    /** Index into the owning kernel's memory stream table (mem ops). */
+    uint8_t memStream = kNoStream;
+};
+
+static_assert(sizeof(InstrDesc) == 4, "InstrDesc should stay compact");
+
+/**
+ * A memory access stream referenced by InstrDesc::memStream.
+ *
+ * Addresses follow base + (index * strideBytes) mod footprintBytes with
+ * a probability jumpProb of re-seeding index randomly, which controls
+ * spatial and temporal locality. Shared streams use one base for all
+ * threads (creating coherence and shared-cache interactions); private
+ * streams get a per-thread base.
+ */
+struct MemStream
+{
+    uint64_t footprintBytes = 1 << 16;
+    uint32_t strideBytes = 8;
+    double jumpProb = 0.0;
+    bool shared = false;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_ISA_INSTR_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Operation classes of the virtual instruction set.
+ *
+ * The reproduction does not interpret real x86; instead every dynamic
+ * instruction carries an OpClass that the timing models map to issue
+ * latencies and functional-unit use, plus optional memory-reference
+ * metadata. This is the same level of abstraction Sniper's interval
+ * model consumes after decoding.
+ */
+
+#ifndef LOOPPOINT_ISA_OP_CLASS_HH
+#define LOOPPOINT_ISA_OP_CLASS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace looppoint {
+
+/** Coarse instruction classes understood by the timing models. */
+enum class OpClass : uint8_t
+{
+    IntAlu,     ///< single-cycle integer op
+    IntMul,     ///< pipelined integer multiply
+    IntDiv,     ///< unpipelined integer divide
+    FpAdd,      ///< floating-point add/sub/cmp
+    FpMul,      ///< floating-point multiply
+    FpDiv,      ///< floating-point divide/sqrt
+    Load,       ///< memory read
+    Store,      ///< memory write
+    Branch,     ///< conditional or unconditional control transfer
+    AtomicRmw,  ///< locked read-modify-write (e.g. lock xadd)
+    NumOpClasses
+};
+
+constexpr size_t kNumOpClasses =
+    static_cast<size_t>(OpClass::NumOpClasses);
+
+/** Human-readable op-class name (for stats and debug output). */
+std::string_view opClassName(OpClass op);
+
+/** True for Load, Store, and AtomicRmw. */
+constexpr bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store ||
+           op == OpClass::AtomicRmw;
+}
+
+/** True for ops that write memory (Store, AtomicRmw). */
+constexpr bool
+isMemWrite(OpClass op)
+{
+    return op == OpClass::Store || op == OpClass::AtomicRmw;
+}
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_ISA_OP_CLASS_HH

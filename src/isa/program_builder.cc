@@ -1,0 +1,424 @@
+#include "isa/program_builder.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+constexpr Addr kMainBase = 0x00400000;
+constexpr Addr kLibIompBase = 0x7f000000;
+constexpr Addr kLibCBase = 0x7e000000;
+constexpr uint32_t kInstrBytes = 4;
+
+} // namespace
+
+ProgramBuilder::ProgramBuilder(std::string name, uint64_t seed)
+    : rng(hashCombine(seed, hashString(name)))
+{
+    prog.name = std::move(name);
+    prog.images.resize(kNumImages);
+    prog.images[static_cast<size_t>(ImageId::Main)] = {prog.name,
+                                                       kMainBase};
+    prog.images[static_cast<size_t>(ImageId::LibIomp)] = {"libiomp5.so",
+                                                          kLibIompBase};
+    prog.images[static_cast<size_t>(ImageId::LibC)] = {"libc.so",
+                                                       kLibCBase};
+    nextPc[static_cast<size_t>(ImageId::Main)] = kMainBase;
+    nextPc[static_cast<size_t>(ImageId::LibIomp)] = kLibIompBase;
+    nextPc[static_cast<size_t>(ImageId::LibC)] = kLibCBase;
+}
+
+uint32_t
+ProgramBuilder::addRoutine(const std::string &name, ImageId image)
+{
+    Routine r;
+    r.name = name;
+    r.image = image;
+    prog.routines.push_back(std::move(r));
+    return static_cast<uint32_t>(prog.routines.size() - 1);
+}
+
+BlockId
+ProgramBuilder::makeBlock(const BlockSpec &spec, ImageId image,
+                          uint32_t routine, bool ends_with_branch)
+{
+    LP_ASSERT(spec.numInstrs >= 1);
+    BasicBlock bb;
+    bb.id = static_cast<BlockId>(prog.blocks.size());
+    bb.image = image;
+    bb.routine = routine;
+    size_t img = static_cast<size_t>(image);
+    bb.pc = nextPc[img];
+    nextPc[img] += static_cast<Addr>(spec.numInstrs) * kInstrBytes;
+    // Leave a gap between blocks so PCs are visibly distinct regions.
+    nextPc[img] += kInstrBytes;
+
+    uint32_t body_instrs = spec.numInstrs - (ends_with_branch ? 1 : 0);
+    uint32_t stream_cursor = 0;
+    bb.instrs.reserve(spec.numInstrs);
+    for (uint32_t i = 0; i < body_instrs; ++i) {
+        InstrDesc d;
+        if (rng.nextBool(spec.fracMem)) {
+            d.op = rng.nextBool(spec.loadFrac) ? OpClass::Load
+                                               : OpClass::Store;
+            if (!spec.streams.empty()) {
+                d.memStream =
+                    spec.streams[stream_cursor % spec.streams.size()];
+                ++stream_cursor;
+            }
+        } else if (rng.nextBool(spec.fracFp)) {
+            d.op = rng.nextBool(spec.fpMulFrac) ? OpClass::FpMul
+                                                : OpClass::FpAdd;
+        } else if (rng.nextBool(spec.fracDiv)) {
+            d.op = OpClass::IntDiv;
+        } else if (rng.nextBool(spec.fracMul)) {
+            d.op = OpClass::IntMul;
+        } else {
+            d.op = OpClass::IntAlu;
+        }
+        // Geometric-ish dependence distances around the requested ILP.
+        if (i > 0 && spec.ilp > 0.0) {
+            uint64_t max_dist = std::min<uint64_t>(i, 255);
+            uint64_t d1 = 1 + rng.nextBounded(
+                static_cast<uint64_t>(2.0 * spec.ilp) + 1);
+            d.srcDist1 = static_cast<uint8_t>(std::min(d1, max_dist));
+            if (rng.nextBool(0.5)) {
+                uint64_t d2 = 1 + rng.nextBounded(
+                    static_cast<uint64_t>(2.0 * spec.ilp) + 1);
+                d.srcDist2 = static_cast<uint8_t>(std::min(d2, max_dist));
+            }
+        }
+        bb.instrs.push_back(d);
+    }
+    if (ends_with_branch) {
+        InstrDesc d;
+        d.op = OpClass::Branch;
+        d.srcDist1 = 1;
+        bb.instrs.push_back(d);
+    }
+    prog.routines[routine].blocks.push_back(bb.id);
+    if (prog.routines[routine].entry == kInvalidBlock)
+        prog.routines[routine].entry = bb.id;
+    prog.blocks.push_back(std::move(bb));
+    return prog.blocks.back().id;
+}
+
+BlockId
+ProgramBuilder::makeRuntimeBlock(uint32_t num_instrs, ImageId image,
+                                 uint32_t routine, bool ends_with_branch,
+                                 bool has_atomic, bool has_load,
+                                 bool has_store)
+{
+    BasicBlock bb;
+    bb.id = static_cast<BlockId>(prog.blocks.size());
+    bb.image = image;
+    bb.routine = routine;
+    size_t img = static_cast<size_t>(image);
+    bb.pc = nextPc[img];
+    nextPc[img] += static_cast<Addr>(num_instrs + 1) * kInstrBytes;
+
+    uint32_t slot = 0;
+    auto add = [&](OpClass op) {
+        InstrDesc d;
+        d.op = op;
+        if (slot > 0)
+            d.srcDist1 = 1;
+        bb.instrs.push_back(d);
+        ++slot;
+    };
+    if (has_atomic)
+        add(OpClass::AtomicRmw);
+    if (has_load)
+        add(OpClass::Load);
+    if (has_store)
+        add(OpClass::Store);
+    while (bb.instrs.size() + (ends_with_branch ? 1 : 0) < num_instrs)
+        add(OpClass::IntAlu);
+    if (ends_with_branch)
+        add(OpClass::Branch);
+    LP_ASSERT(bb.instrs.size() == num_instrs);
+
+    prog.routines[routine].blocks.push_back(bb.id);
+    if (prog.routines[routine].entry == kInvalidBlock)
+        prog.routines[routine].entry = bb.id;
+    prog.blocks.push_back(std::move(bb));
+    return prog.blocks.back().id;
+}
+
+uint32_t
+ProgramBuilder::beginKernel(const std::string &name, SchedPolicy sched,
+                            uint64_t parallel_iters, uint64_t chunk_size)
+{
+    LP_ASSERT(!inKernel && !built);
+    if (parallel_iters == 0)
+        fatal("kernel '%s': parallelIters must be >= 1", name.c_str());
+    inKernel = true;
+    curRoutine = addRoutine(name, ImageId::Main);
+
+    LoweredKernel k;
+    k.name = name;
+    k.sched = sched;
+    k.parallelIters = parallel_iters;
+    k.chunkSize = std::max<uint64_t>(1, chunk_size);
+    if (sched == SchedPolicy::StaticFor)
+        k.sync.staticFor = true;
+    else if (sched == SchedPolicy::DynamicFor)
+        k.sync.dynamicFor = true;
+    k.sync.barrier = true; // implicit end-of-region barrier
+
+    // Entry (serial prologue, thread 0), worker loop header + latch,
+    // and exit (serial epilogue, thread 0).
+    BlockSpec entry_spec{.numInstrs = 12, .fracMem = 0.2, .streams = {}};
+    k.entryBlock = makeBlock(entry_spec, ImageId::Main, curRoutine, false);
+    BlockSpec header_spec{.numInstrs = 6, .fracMem = 0.1, .streams = {}};
+    k.workerHeader =
+        makeBlock(header_spec, ImageId::Main, curRoutine, true);
+    BlockSpec latch_spec{.numInstrs = 3, .fracMem = 0.0, .streams = {}};
+    k.workerLatch = makeBlock(latch_spec, ImageId::Main, curRoutine, true);
+    BlockSpec exit_spec{.numInstrs = 10, .fracMem = 0.2, .streams = {}};
+    k.exitBlock = makeBlock(exit_spec, ImageId::Main, curRoutine, false);
+
+    prog.kernels.push_back(std::move(k));
+    scopeStack.clear();
+    scopeStack.push_back(&prog.kernels.back().body);
+    return static_cast<uint32_t>(prog.kernels.size() - 1);
+}
+
+std::vector<BodyItem> *
+ProgramBuilder::currentScope()
+{
+    LP_ASSERT(inKernel && !scopeStack.empty());
+    return scopeStack.back();
+}
+
+uint8_t
+ProgramBuilder::addStream(const MemStream &stream)
+{
+    LP_ASSERT(inKernel);
+    auto &streams = prog.kernels.back().streams;
+    if (streams.size() >= kNoStream)
+        fatal("too many memory streams in kernel '%s'",
+              prog.kernels.back().name.c_str());
+    streams.push_back(stream);
+    return static_cast<uint8_t>(streams.size() - 1);
+}
+
+void
+ProgramBuilder::addBlock(const BlockSpec &spec)
+{
+    BodyItem item;
+    item.kind = BodyItem::Kind::Block;
+    item.blocks[0] = makeBlock(spec, ImageId::Main, curRoutine, false);
+    currentScope()->push_back(std::move(item));
+}
+
+void
+ProgramBuilder::addCond(const BlockSpec &cond, const BlockSpec &then_spec,
+                        const BlockSpec &else_spec, const BlockSpec &join,
+                        double p)
+{
+    LP_ASSERT(p >= 0.0 && p <= 1.0);
+    BodyItem item;
+    item.kind = BodyItem::Kind::Cond;
+    item.prob = p;
+    item.blocks[0] = makeBlock(cond, ImageId::Main, curRoutine, true);
+    item.blocks[1] = makeBlock(then_spec, ImageId::Main, curRoutine, false);
+    item.blocks[2] = makeBlock(else_spec, ImageId::Main, curRoutine, false);
+    item.blocks[3] = makeBlock(join, ImageId::Main, curRoutine, false);
+    currentScope()->push_back(std::move(item));
+}
+
+void
+ProgramBuilder::beginInnerLoop(uint64_t trips, uint32_t trip_jitter)
+{
+    LP_ASSERT(inKernel);
+    if (trips == 0)
+        fatal("inner loop trips must be >= 1");
+    auto item = std::make_unique<BodyItem>();
+    item->kind = BodyItem::Kind::Loop;
+    item->trips = trips;
+    item->tripJitter = trip_jitter;
+    BlockSpec header_spec{.numInstrs = 4, .fracMem = 0.0, .streams = {}};
+    item->blocks[0] = makeBlock(header_spec, ImageId::Main, curRoutine,
+                                false);
+    BlockSpec latch_spec{.numInstrs = 3, .fracMem = 0.0, .streams = {}};
+    item->blocks[1] = makeBlock(latch_spec, ImageId::Main, curRoutine,
+                                true);
+    scopeStack.push_back(&item->children);
+    loopStack.push_back(std::move(item));
+}
+
+void
+ProgramBuilder::endInnerLoop()
+{
+    LP_ASSERT(!loopStack.empty());
+    auto item = std::move(loopStack.back());
+    loopStack.pop_back();
+    scopeStack.pop_back();
+    currentScope()->push_back(std::move(*item));
+}
+
+void
+ProgramBuilder::addAtomic(const BlockSpec &spec)
+{
+    BodyItem item;
+    item.kind = BodyItem::Kind::Atomic;
+    BlockSpec s = spec;
+    item.blocks[0] = makeBlock(s, ImageId::Main, curRoutine, false);
+    // Force an AtomicRmw into the block (first instruction).
+    prog.blocks[item.blocks[0]].instrs.front().op = OpClass::AtomicRmw;
+    prog.kernels.back().sync.atomic = true;
+    currentScope()->push_back(std::move(item));
+}
+
+void
+ProgramBuilder::addCritical(uint32_t lock_id, const BlockSpec &cs)
+{
+    BodyItem item;
+    item.kind = BodyItem::Kind::Critical;
+    item.lockId = lock_id;
+    // Acquire/release stubs are created later (shared runtime blocks);
+    // here we only create the main-image critical-section block and
+    // patch acquire/release ids in build().
+    item.blocks[1] = makeBlock(cs, ImageId::Main, curRoutine, false);
+    prog.kernels.back().sync.lock = true;
+    prog.numLocks = std::max(prog.numLocks, lock_id + 1);
+    currentScope()->push_back(std::move(item));
+}
+
+void
+ProgramBuilder::setImbalance(double imbalance)
+{
+    LP_ASSERT(inKernel);
+    LP_ASSERT(imbalance >= 0.0);
+    prog.kernels.back().imbalance = imbalance;
+}
+
+void
+ProgramBuilder::setMasterPrologue(const BlockSpec &spec, bool is_single)
+{
+    LP_ASSERT(inKernel);
+    LoweredKernel &k = prog.kernels.back();
+    k.masterPrologue = makeBlock(spec, ImageId::Main, curRoutine, false);
+    if (is_single)
+        k.sync.single = true;
+    else
+        k.sync.master = true;
+}
+
+void
+ProgramBuilder::setReduction(const BlockSpec &merge_spec)
+{
+    LP_ASSERT(inKernel);
+    LoweredKernel &k = prog.kernels.back();
+    k.reductionTail =
+        makeBlock(merge_spec, ImageId::Main, curRoutine, false);
+    prog.blocks[k.reductionTail].instrs.front().op = OpClass::AtomicRmw;
+    k.sync.reduction = true;
+}
+
+void
+ProgramBuilder::endKernel()
+{
+    LP_ASSERT(inKernel);
+    if (!loopStack.empty())
+        fatal("endKernel() with an open inner loop");
+    inKernel = false;
+    scopeStack.clear();
+}
+
+void
+ProgramBuilder::runKernels(const std::vector<uint32_t> &kernel_seq,
+                           uint64_t timesteps)
+{
+    LP_ASSERT(!inKernel && !built);
+    for (uint32_t kidx : kernel_seq)
+        if (kidx >= prog.kernels.size())
+            fatal("runKernels: kernel index %u out of range", kidx);
+    for (uint64_t t = 0; t < timesteps; ++t)
+        for (uint32_t kidx : kernel_seq)
+            prog.runList.push_back(kidx);
+}
+
+void
+ProgramBuilder::setNumLocks(uint32_t n)
+{
+    prog.numLocks = std::max(prog.numLocks, n);
+}
+
+Program
+ProgramBuilder::build()
+{
+    LP_ASSERT(!inKernel && !built);
+    built = true;
+
+    // Create the shared runtime-library blocks (one set per program,
+    // mirroring one loaded copy of libiomp5.so / libc.so).
+    uint32_t r_barrier = addRoutine("__kmp_barrier", ImageId::LibIomp);
+    prog.runtime.barrierEnter =
+        makeRuntimeBlock(12, ImageId::LibIomp, r_barrier, true,
+                         /*atomic=*/true, /*load=*/true, /*store=*/false);
+    prog.runtime.barrierExit =
+        makeRuntimeBlock(6, ImageId::LibIomp, r_barrier, false,
+                         false, true, false);
+
+    uint32_t r_spin = addRoutine("__kmp_wait_yield", ImageId::LibIomp);
+    prog.runtime.spinWait =
+        makeRuntimeBlock(4, ImageId::LibIomp, r_spin, true,
+                         false, true, false);
+
+    uint32_t r_futex = addRoutine("__futex_wait", ImageId::LibC);
+    prog.runtime.futexWait =
+        makeRuntimeBlock(24, ImageId::LibC, r_futex, true,
+                         false, true, true);
+
+    uint32_t r_dispatch =
+        addRoutine("__kmp_dispatch_next", ImageId::LibIomp);
+    prog.runtime.chunkFetch =
+        makeRuntimeBlock(14, ImageId::LibIomp, r_dispatch, true,
+                         true, true, false);
+
+    uint32_t r_lock = addRoutine("__kmp_acquire_lock", ImageId::LibIomp);
+    prog.runtime.lockAcquire =
+        makeRuntimeBlock(6, ImageId::LibIomp, r_lock, true,
+                         true, false, false);
+    prog.runtime.lockSpin =
+        makeRuntimeBlock(4, ImageId::LibIomp, r_lock, true,
+                         false, true, false);
+    prog.runtime.lockRelease =
+        makeRuntimeBlock(4, ImageId::LibIomp, r_lock, false,
+                         false, false, true);
+
+    uint32_t r_atomic = addRoutine("__kmp_atomic", ImageId::LibIomp);
+    prog.runtime.atomicStub =
+        makeRuntimeBlock(6, ImageId::LibIomp, r_atomic, false,
+                         true, false, false);
+
+    // Patch Critical items to reference the shared lock stubs.
+    for (auto &k : prog.kernels) {
+        std::vector<BodyItem *> stack;
+        for (auto &item : k.body)
+            stack.push_back(&item);
+        while (!stack.empty()) {
+            BodyItem *item = stack.back();
+            stack.pop_back();
+            if (item->kind == BodyItem::Kind::Critical) {
+                item->blocks[0] = prog.runtime.lockAcquire;
+                item->blocks[2] = prog.runtime.lockRelease;
+            }
+            for (auto &child : item->children)
+                stack.push_back(&child);
+        }
+    }
+
+    if (prog.runList.empty())
+        fatal("program '%s' has an empty run list; call runKernels()",
+              prog.name.c_str());
+    prog.validate();
+    return std::move(prog);
+}
+
+} // namespace looppoint

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ProgramBuilder: constructs Programs from structured kernel
+ * descriptions.
+ *
+ * The builder plays the role of the compiler + linker in this
+ * reproduction: workload generators describe parallel regions (loop
+ * nests, instruction mixes, memory streams, synchronization uses) and
+ * the builder lowers them to concrete basic blocks with PCs in the
+ * right images, wires up the shared runtime-library blocks, and emits a
+ * validated Program.
+ *
+ * Usage sketch:
+ *
+ *   ProgramBuilder b("myapp", seed);
+ *   uint32_t k = b.beginKernel("stencil", SchedPolicy::StaticFor, 4096);
+ *   b.addStream({.footprintBytes = 1<<20, .strideBytes = 8});
+ *   b.addBlock({.numInstrs = 64, .fracMem = 0.4, .streams = {0}});
+ *   b.beginInnerLoop(16);
+ *   b.addBlock({.numInstrs = 24, .fracMem = 0.5, .streams = {0}});
+ *   b.endInnerLoop();
+ *   b.endKernel();
+ *   b.runKernels({k}, 100);          // 100 timesteps
+ *   Program p = b.build();
+ */
+
+#ifndef LOOPPOINT_ISA_PROGRAM_BUILDER_HH
+#define LOOPPOINT_ISA_PROGRAM_BUILDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "util/rng.hh"
+
+namespace looppoint {
+
+/**
+ * Recipe for one basic block's contents. The builder turns the mix
+ * fractions into a concrete InstrDesc sequence deterministically (from
+ * the builder's seed), so identical specs in identical order always
+ * produce identical programs.
+ */
+struct BlockSpec
+{
+    uint32_t numInstrs = 16;
+    /** Fraction of instructions that access memory. */
+    double fracMem = 0.3;
+    /** Of the memory ops, fraction that are loads (rest stores). */
+    double loadFrac = 0.7;
+    /** Fraction of non-memory ops that are floating point. */
+    double fracFp = 0.0;
+    /** Of the fp ops, fraction that are multiplies (rest adds). */
+    double fpMulFrac = 0.5;
+    /** Fraction of non-memory integer ops that are multiplies. */
+    double fracMul = 0.05;
+    /** Fraction of non-memory integer ops that are divides. */
+    double fracDiv = 0.0;
+    /** Mean register-dependence distance (higher = more ILP). */
+    double ilp = 4.0;
+    /** Memory streams cycled through by the block's memory ops. */
+    std::vector<uint8_t> streams;
+};
+
+/**
+ * Builds a Program. See file comment. All begin/end calls must nest
+ * properly; build() validates the result.
+ */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder(std::string name, uint64_t seed);
+
+    /**
+     * Start a new kernel (parallel region). Returns its kernel index.
+     */
+    uint32_t beginKernel(const std::string &name, SchedPolicy sched,
+                         uint64_t parallel_iters, uint64_t chunk_size = 8);
+
+    /** Add a memory stream to the current kernel; returns stream id. */
+    uint8_t addStream(const MemStream &stream);
+
+    /** Append a straight-line block to the current body scope. */
+    void addBlock(const BlockSpec &spec);
+
+    /** Append an if/else diamond; then-side taken with probability p. */
+    void addCond(const BlockSpec &cond, const BlockSpec &then_spec,
+                 const BlockSpec &else_spec, const BlockSpec &join,
+                 double p);
+
+    /** Open an inner counted loop; close with endInnerLoop(). */
+    void beginInnerLoop(uint64_t trips, uint32_t trip_jitter = 0);
+    void endInnerLoop();
+
+    /** Append an `omp atomic`-style update. */
+    void addAtomic(const BlockSpec &spec);
+
+    /** Append an `omp critical` section protected by lock `lock_id`. */
+    void addCritical(uint32_t lock_id, const BlockSpec &cs);
+
+    /** Give the current kernel an iteration-share skew (0 = balanced). */
+    void setImbalance(double imbalance);
+
+    /** Thread-0-only prologue (omp master / omp single). */
+    void setMasterPrologue(const BlockSpec &spec, bool is_single);
+
+    /** Add a reduction merge at the end of each thread's portion. */
+    void setReduction(const BlockSpec &merge_spec);
+
+    /** Finish the current kernel. */
+    void endKernel();
+
+    /**
+     * Append `timesteps` repetitions of the kernel sequence to the run
+     * list (the application's outer timestep loop).
+     */
+    void runKernels(const std::vector<uint32_t> &kernel_seq,
+                    uint64_t timesteps = 1);
+
+    /** Number of lock objects the program declares. */
+    void setNumLocks(uint32_t n);
+
+    /** Finalize: create runtime-library blocks, validate, and return. */
+    Program build();
+
+  private:
+    BlockId makeBlock(const BlockSpec &spec, ImageId image,
+                      uint32_t routine, bool ends_with_branch);
+    BlockId makeRuntimeBlock(uint32_t num_instrs, ImageId image,
+                             uint32_t routine, bool ends_with_branch,
+                             bool has_atomic, bool has_load,
+                             bool has_store);
+    uint32_t addRoutine(const std::string &name, ImageId image);
+    std::vector<BodyItem> *currentScope();
+
+    Program prog;
+    Rng rng;
+    Addr nextPc[kNumImages] = {};
+    bool inKernel = false;
+    uint32_t curRoutine = 0;
+    /** Stack of open body scopes: kernel body + nested loops. */
+    std::vector<std::vector<BodyItem> *> scopeStack;
+    /** Loop items under construction (parallel to scopeStack tail). */
+    std::vector<std::unique_ptr<BodyItem>> loopStack;
+    bool built = false;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_ISA_PROGRAM_BUILDER_HH

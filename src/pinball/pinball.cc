@@ -1,0 +1,241 @@
+#include "pinball/pinball.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "exec/driver.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+
+RecordingArbiter::RecordingArbiter(uint32_t num_locks,
+                                   uint32_t run_list_size)
+{
+    log.lockOrder.resize(num_locks);
+    log.chunkOrder.resize(run_list_size);
+}
+
+void
+RecordingArbiter::onLockAcquired(uint32_t lock_id, uint32_t tid)
+{
+    LP_ASSERT(lock_id < log.lockOrder.size());
+    log.lockOrder[lock_id].push_back(tid);
+}
+
+void
+RecordingArbiter::onChunkFetched(uint32_t run_pos, uint32_t tid)
+{
+    LP_ASSERT(run_pos < log.chunkOrder.size());
+    log.chunkOrder[run_pos].push_back(tid);
+}
+
+ReplayArbiter::ReplayArbiter(const SyncLog &log_)
+    : log(&log_)
+{
+    lockCursor.assign(log->lockOrder.size(), 0);
+    chunkCursor.assign(log->chunkOrder.size(), 0);
+}
+
+bool
+ReplayArbiter::mayAcquireLock(uint32_t lock_id, uint32_t tid)
+{
+    LP_ASSERT(lock_id < lockCursor.size());
+    const auto &order = log->lockOrder[lock_id];
+    size_t cur = lockCursor[lock_id];
+    if (cur >= order.size())
+        fatal("replay: lock %u acquired more times than recorded",
+              lock_id);
+    return order[cur] == tid;
+}
+
+void
+ReplayArbiter::onLockAcquired(uint32_t lock_id, uint32_t tid)
+{
+    const auto &order = log->lockOrder[lock_id];
+    size_t &cur = lockCursor[lock_id];
+    LP_ASSERT(cur < order.size() && order[cur] == tid);
+    ++cur;
+}
+
+bool
+ReplayArbiter::mayFetchChunk(uint32_t run_pos, uint32_t tid)
+{
+    LP_ASSERT(run_pos < chunkCursor.size());
+    const auto &order = log->chunkOrder[run_pos];
+    size_t cur = chunkCursor[run_pos];
+    if (cur >= order.size())
+        fatal("replay: kernel instance %u fetched more chunks than "
+              "recorded", run_pos);
+    return order[cur] == tid;
+}
+
+void
+ReplayArbiter::onChunkFetched(uint32_t run_pos, uint32_t tid)
+{
+    const auto &order = log->chunkOrder[run_pos];
+    size_t &cur = chunkCursor[run_pos];
+    LP_ASSERT(cur < order.size() && order[cur] == tid);
+    ++cur;
+}
+
+bool
+ReplayArbiter::exhausted() const
+{
+    for (size_t i = 0; i < lockCursor.size(); ++i)
+        if (lockCursor[i] != log->lockOrder[i].size())
+            return false;
+    for (size_t i = 0; i < chunkCursor.size(); ++i)
+        if (chunkCursor[i] != log->chunkOrder[i].size())
+            return false;
+    return true;
+}
+
+Pinball
+recordPinball(const Program &prog, const ExecConfig &cfg,
+              uint64_t quantum_instrs, ExecListener *listener)
+{
+    RecordingArbiter rec(std::max<uint32_t>(1, prog.numLocks),
+                         static_cast<uint32_t>(prog.runList.size()));
+    ExecutionEngine engine(prog, cfg, &rec);
+    RoundRobinDriver driver(engine, quantum_instrs);
+    driver.run(listener);
+
+    Pinball pb;
+    pb.programName = prog.name;
+    pb.config = cfg;
+    pb.log = rec.take();
+    for (uint32_t t = 0; t < cfg.numThreads; ++t) {
+        pb.threadIcounts.push_back(engine.icount(t));
+        pb.threadFilteredIcounts.push_back(engine.filteredIcount(t));
+    }
+    return pb;
+}
+
+void
+replayPinball(const Program &prog, const Pinball &pinball,
+              uint64_t quantum_instrs, ExecListener *listener)
+{
+    if (prog.name != pinball.programName)
+        fatal("replay: pinball was recorded for program '%s', not '%s'",
+              pinball.programName.c_str(), prog.name.c_str());
+    ReplayArbiter rep(pinball.log);
+    ExecutionEngine engine(prog, pinball.config, &rep);
+    RoundRobinDriver driver(engine, quantum_instrs);
+    driver.run(listener);
+
+    if (!rep.exhausted())
+        fatal("replay: recorded synchronization events were not fully "
+              "consumed");
+    for (uint32_t t = 0; t < pinball.config.numThreads; ++t) {
+        if (engine.filteredIcount(t) != pinball.threadFilteredIcounts[t])
+            fatal("replay divergence: thread %u executed %llu filtered "
+                  "instructions, recorded %llu", t,
+                  static_cast<unsigned long long>(
+                      engine.filteredIcount(t)),
+                  static_cast<unsigned long long>(
+                      pinball.threadFilteredIcounts[t]));
+    }
+}
+
+namespace {
+
+void
+saveOrderTable(std::ostream &os, const char *tag,
+               const std::vector<std::vector<uint32_t>> &table)
+{
+    os << tag << ' ' << table.size() << '\n';
+    for (const auto &row : table) {
+        os << row.size();
+        for (uint32_t tid : row)
+            os << ' ' << tid;
+        os << '\n';
+    }
+}
+
+std::vector<std::vector<uint32_t>>
+loadOrderTable(std::istream &is, const char *tag)
+{
+    std::string got;
+    size_t rows = 0;
+    if (!(is >> got >> rows) || got != tag)
+        fatal("pinball parse error: expected '%s' table", tag);
+    std::vector<std::vector<uint32_t>> table(rows);
+    for (auto &row : table) {
+        size_t n = 0;
+        if (!(is >> n))
+            fatal("pinball parse error in '%s' table", tag);
+        row.resize(n);
+        for (auto &tid : row)
+            if (!(is >> tid))
+                fatal("pinball parse error in '%s' row", tag);
+    }
+    return table;
+}
+
+} // namespace
+
+void
+Pinball::save(std::ostream &os) const
+{
+    os << "looppoint-pinball-v1\n";
+    os << "program " << programName << '\n';
+    os << "threads " << config.numThreads << '\n';
+    os << "waitpolicy "
+       << (config.waitPolicy == WaitPolicy::Active ? "active" : "passive")
+       << '\n';
+    os << "seed " << config.seed << '\n';
+    saveOrderTable(os, "locks", log.lockOrder);
+    saveOrderTable(os, "chunks", log.chunkOrder);
+    os << "icounts " << threadIcounts.size();
+    for (uint64_t v : threadIcounts)
+        os << ' ' << v;
+    os << '\n';
+    os << "filtered " << threadFilteredIcounts.size();
+    for (uint64_t v : threadFilteredIcounts)
+        os << ' ' << v;
+    os << '\n';
+}
+
+Pinball
+Pinball::load(std::istream &is)
+{
+    Pinball pb;
+    std::string line, key, value;
+    if (!std::getline(is, line) || line != "looppoint-pinball-v1")
+        fatal("not a looppoint pinball (bad magic)");
+    if (!(is >> key >> pb.programName) || key != "program")
+        fatal("pinball parse error: program");
+    if (!(is >> key >> pb.config.numThreads) || key != "threads")
+        fatal("pinball parse error: threads");
+    if (!(is >> key >> value) || key != "waitpolicy")
+        fatal("pinball parse error: waitpolicy");
+    if (value == "active")
+        pb.config.waitPolicy = WaitPolicy::Active;
+    else if (value == "passive")
+        pb.config.waitPolicy = WaitPolicy::Passive;
+    else
+        fatal("pinball parse error: unknown wait policy '%s'",
+              value.c_str());
+    if (!(is >> key >> pb.config.seed) || key != "seed")
+        fatal("pinball parse error: seed");
+    pb.log.lockOrder = loadOrderTable(is, "locks");
+    pb.log.chunkOrder = loadOrderTable(is, "chunks");
+
+    size_t n = 0;
+    if (!(is >> key >> n) || key != "icounts")
+        fatal("pinball parse error: icounts");
+    pb.threadIcounts.resize(n);
+    for (auto &v : pb.threadIcounts)
+        if (!(is >> v))
+            fatal("pinball parse error: icounts values");
+    if (!(is >> key >> n) || key != "filtered")
+        fatal("pinball parse error: filtered");
+    pb.threadFilteredIcounts.resize(n);
+    for (auto &v : pb.threadFilteredIcounts)
+        if (!(is >> v))
+            fatal("pinball parse error: filtered values");
+    return pb;
+}
+
+} // namespace looppoint

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Basic-block vectors, slice records, and (PC, count) markers — the
+ * profiling artifacts LoopPoint clusters (Sections III-B/C of the
+ * paper).
+ */
+
+#ifndef LOOPPOINT_PROFILE_BBV_HH
+#define LOOPPOINT_PROFILE_BBV_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace looppoint {
+
+/**
+ * A (PC, count) execution marker: the moment just before the count-th
+ * dynamic execution of the instruction at `pc` (1-based, counted
+ * globally across threads). pc == 0 denotes the program start/end
+ * sentinel.
+ */
+struct Marker
+{
+    Addr pc = 0;
+    uint64_t count = 0;
+
+    bool isProgramBoundary() const { return pc == 0; }
+    bool operator==(const Marker &other) const = default;
+};
+
+/** Sparse per-thread basic-block vector (block -> execution count). */
+struct ThreadBbv
+{
+    std::unordered_map<BlockId, uint64_t> counts;
+
+    void
+    add(BlockId block, uint64_t n = 1)
+    {
+        counts[block] += n;
+    }
+
+    bool operator==(const ThreadBbv &other) const = default;
+};
+
+/** One profiling slice: a variable-length region between markers. */
+struct SliceRecord
+{
+    uint64_t index = 0;
+    Marker start;
+    Marker end;
+    /** Filtered (main-image) per-thread BBVs, concatenated logically. */
+    std::vector<ThreadBbv> perThread;
+    /** Filtered instructions per thread within the slice. */
+    std::vector<uint64_t> threadFilteredIcount;
+    /** Global filtered instructions in the slice. */
+    uint64_t filteredIcount = 0;
+    /** Global instructions including synchronization/spin code. */
+    uint64_t totalIcount = 0;
+};
+
+/** Map from PC to block id for marker resolution. */
+std::unordered_map<Addr, BlockId> buildPcIndex(const Program &prog);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_PROFILE_BBV_HH

@@ -1,0 +1,114 @@
+#include "profile/slicer.hh"
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+std::unordered_map<Addr, BlockId>
+buildPcIndex(const Program &prog)
+{
+    std::unordered_map<Addr, BlockId> index;
+    index.reserve(prog.numBlocks());
+    for (const auto &bb : prog.blocks)
+        index[bb.pc] = bb.id;
+    return index;
+}
+
+SliceProfiler::SliceProfiler(const Program &prog_,
+                             std::vector<BlockId> marker_blocks,
+                             uint64_t slice_size_global,
+                             uint32_t num_threads, bool filter_sync)
+    : prog(&prog_), isMarker(prog_.numBlocks(), 0),
+      markerCounts(prog_.numBlocks(), 0), sliceTarget(slice_size_global),
+      numThreads(num_threads), filterSync(filter_sync)
+{
+    if (slice_size_global == 0)
+        fatal("SliceProfiler: slice size must be >= 1");
+    for (BlockId b : marker_blocks) {
+        LP_ASSERT(b < prog->numBlocks());
+        if (!prog->inMainImage(b))
+            fatal("marker block %u is not in the main image "
+                  "(synchronization loops cannot bound regions)", b);
+        isMarker[b] = 1;
+    }
+    beginSlice(Marker{0, 0}); // program start sentinel
+}
+
+void
+SliceProfiler::beginSlice(const Marker &start)
+{
+    current = SliceRecord{};
+    current.index = sliceList.size();
+    current.start = start;
+    current.perThread.assign(numThreads, ThreadBbv{});
+    current.threadFilteredIcount.assign(numThreads, 0);
+}
+
+void
+SliceProfiler::closeSlice(const Marker &end)
+{
+    current.end = end;
+    sliceList.push_back(std::move(current));
+}
+
+void
+SliceProfiler::onBlock(uint32_t tid, BlockId block,
+                       const ExecutionEngine &engine)
+{
+    (void)engine;
+    LP_ASSERT(!finalized);
+    LP_ASSERT(tid < numThreads);
+    const BasicBlock &bb = prog->blocks[block];
+
+    if (isMarker[block]) {
+        // Boundary check happens *before* this execution is counted,
+        // so the marker execution itself belongs to the next slice.
+        if (current.filteredIcount >= sliceTarget) {
+            Marker boundary{bb.pc, markerCounts[block] + 1};
+            closeSlice(boundary);
+            beginSlice(boundary);
+        }
+        ++markerCounts[block];
+    }
+
+    current.totalIcount += bb.numInstrs();
+    if (!filterSync || bb.image == ImageId::Main) {
+        // Spin and synchronization-library code is executed but not
+        // counted ("execute but don't count", Section II).
+        current.perThread[tid].add(block);
+        current.threadFilteredIcount[tid] += bb.numInstrs();
+        current.filteredIcount += bb.numInstrs();
+    }
+}
+
+void
+SliceProfiler::finalize()
+{
+    LP_ASSERT(!finalized);
+    finalized = true;
+    // Program-end sentinel. Suppress an empty trailing slice.
+    if (current.filteredIcount > 0 || current.totalIcount > 0 ||
+        sliceList.empty()) {
+        closeSlice(Marker{0, 0});
+    }
+}
+
+uint64_t
+SliceProfiler::markerCount(BlockId block) const
+{
+    LP_ASSERT(block < markerCounts.size());
+    return markerCounts[block];
+}
+
+uint64_t
+SliceProfiler::totalFilteredIcount() const
+{
+    uint64_t sum = 0;
+    for (const auto &s : sliceList)
+        sum += s.filteredIcount;
+    if (!finalized)
+        sum += current.filteredIcount;
+    return sum;
+}
+
+} // namespace looppoint

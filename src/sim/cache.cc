@@ -1,0 +1,280 @@
+#include "sim/cache.hh"
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+Cache::Cache(const CacheConfig &cfg_)
+    : cfg(cfg_)
+{
+    LP_ASSERT(cfg.lineBytes > 0 && cfg.assoc > 0);
+    LP_ASSERT(cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) == 0);
+    numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
+    LP_ASSERT(numSets > 0);
+    lines.resize(static_cast<size_t>(numSets) * cfg.assoc);
+}
+
+bool
+Cache::access(Addr addr, uint32_t core, bool is_write, Addr *evicted)
+{
+    (void)is_write;
+    ++cacheStats.accesses;
+    const uint64_t line = lineAddr(addr);
+    const uint32_t set = setIndex(line);
+    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    Line *victim = base;
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == line) {
+            l.lru = ++lruClock;
+            l.sharerMask |= (1ull << core);
+            return true;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lru < victim->lru) {
+            victim = &l;
+        }
+    }
+    ++cacheStats.misses;
+    if (victim->valid && evicted)
+        *evicted = victim->tag * cfg.lineBytes;
+    victim->valid = true;
+    victim->tag = line;
+    victim->lru = ++lruClock;
+    victim->sharerMask = (1ull << core);
+    return false;
+}
+
+Addr
+Cache::fill(Addr addr, uint32_t core)
+{
+    const uint64_t line = lineAddr(addr);
+    const uint32_t set = setIndex(line);
+    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    Line *victim = base;
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == line) {
+            l.sharerMask |= (1ull << core);
+            return 0; // already resident; don't touch LRU
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lru < victim->lru) {
+            victim = &l;
+        }
+    }
+    Addr evicted = victim->valid ? victim->tag * cfg.lineBytes : 0;
+    victim->valid = true;
+    victim->tag = line;
+    victim->lru = ++lruClock;
+    victim->sharerMask = (1ull << core);
+    return evicted;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const uint64_t line = lineAddr(addr);
+    const uint32_t set = setIndex(line);
+    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line) {
+            base[w].valid = false;
+            ++cacheStats.invalidations;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const uint64_t line = lineAddr(addr);
+    const uint32_t set = setIndex(line);
+    const Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    for (uint32_t w = 0; w < cfg.assoc; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    return false;
+}
+
+uint64_t
+Cache::sharers(Addr addr) const
+{
+    const uint64_t line = lineAddr(addr);
+    const uint32_t set = setIndex(line);
+    const Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    for (uint32_t w = 0; w < cfg.assoc; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return base[w].sharerMask;
+    return 0;
+}
+
+void
+Cache::removeSharer(Addr addr, uint32_t core)
+{
+    const uint64_t line = lineAddr(addr);
+    const uint32_t set = setIndex(line);
+    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    for (uint32_t w = 0; w < cfg.assoc; ++w)
+        if (base[w].valid && base[w].tag == line)
+            base[w].sharerMask &= ~(1ull << core);
+}
+
+CacheHierarchy::CacheHierarchy(const SimConfig &cfg_, uint32_t num_cores)
+    : cfg(cfg_), numCores(num_cores), l3(cfg_.l3)
+{
+    LP_ASSERT(num_cores >= 1 && num_cores <= 64);
+    for (uint32_t c = 0; c < num_cores; ++c) {
+        l1d.emplace_back(cfg.l1d);
+        l1i.emplace_back(cfg.l1i);
+        l2.emplace_back(cfg.l2);
+    }
+}
+
+void
+CacheHierarchy::invalidateOthers(uint32_t core, Addr addr)
+{
+    uint64_t mask = l3.sharers(addr) & ~(1ull << core);
+    while (mask) {
+        uint32_t other = static_cast<uint32_t>(__builtin_ctzll(mask));
+        mask &= mask - 1;
+        if (other >= numCores)
+            continue;
+        l1d[other].invalidate(addr);
+        l2[other].invalidate(addr);
+        l3.removeSharer(addr, other);
+    }
+}
+
+void
+CacheHierarchy::backInvalidate(Addr addr)
+{
+    // Inclusive L3: evicting a line removes it from private caches.
+    for (uint32_t c = 0; c < numCores; ++c) {
+        l1d[c].invalidate(addr);
+        l1i[c].invalidate(addr);
+        l2[c].invalidate(addr);
+    }
+}
+
+MemAccessResult
+CacheHierarchy::access(uint32_t core, Addr addr, bool is_write)
+{
+    LP_ASSERT(core < numCores);
+    MemAccessResult r;
+    Addr evicted = 0;
+
+    if (l1d[core].access(addr, core, is_write, nullptr)) {
+        r.latency = cfg.l1d.latency;
+        r.hitLevel = 1;
+    } else if (l2[core].access(addr, core, is_write, nullptr)) {
+        r.latency = cfg.l1d.latency + cfg.l2.latency;
+        r.hitLevel = 2;
+    } else if (l3.access(addr, core, is_write, &evicted)) {
+        r.latency = cfg.l1d.latency + cfg.l2.latency + cfg.l3.latency;
+        r.hitLevel = 3;
+    } else {
+        r.latency = cfg.l1d.latency + cfg.l2.latency + cfg.l3.latency +
+                    cfg.memLatency;
+        r.hitLevel = 4;
+        ++memCount;
+        if (evicted != 0)
+            backInvalidate(evicted);
+    }
+    if (is_write)
+        invalidateOthers(core, addr);
+
+    // Next-line prefetcher: an L2 demand miss pulls the following
+    // lines into the L2 and L3 without charging demand latency.
+    if (cfg.prefetchDegree > 0 && r.hitLevel >= 3 && !is_write) {
+        for (uint32_t d = 1; d <= cfg.prefetchDegree; ++d) {
+            Addr pf = addr + static_cast<Addr>(d) * cfg.l2.lineBytes;
+            Addr evicted_l3 = l3.fill(pf, core);
+            if (evicted_l3 != 0)
+                backInvalidate(evicted_l3);
+            l2[core].fill(pf, core);
+            ++prefetchCount;
+        }
+    }
+    return r;
+}
+
+MemAccessResult
+CacheHierarchy::fetch(uint32_t core, Addr pc)
+{
+    LP_ASSERT(core < numCores);
+    MemAccessResult r;
+    Addr evicted = 0;
+    if (l1i[core].access(pc, core, false, nullptr)) {
+        r.latency = cfg.l1i.latency;
+        r.hitLevel = 1;
+    } else if (l2[core].access(pc, core, false, nullptr)) {
+        r.latency = cfg.l1i.latency + cfg.l2.latency;
+        r.hitLevel = 2;
+    } else if (l3.access(pc, core, false, &evicted)) {
+        r.latency = cfg.l1i.latency + cfg.l2.latency + cfg.l3.latency;
+        r.hitLevel = 3;
+    } else {
+        r.latency = cfg.l1i.latency + cfg.l2.latency + cfg.l3.latency +
+                    cfg.memLatency;
+        r.hitLevel = 4;
+        ++memCount;
+        if (evicted != 0)
+            backInvalidate(evicted);
+    }
+    return r;
+}
+
+void
+CacheHierarchy::warmAccess(uint32_t core, Addr addr, bool is_write)
+{
+    access(core, addr, is_write);
+}
+
+void
+CacheHierarchy::warmFetch(uint32_t core, Addr pc)
+{
+    fetch(core, pc);
+}
+
+const CacheStats &
+CacheHierarchy::l1dStats(uint32_t core) const
+{
+    return l1d[core].stats();
+}
+
+const CacheStats &
+CacheHierarchy::l1iStats(uint32_t core) const
+{
+    return l1i[core].stats();
+}
+
+const CacheStats &
+CacheHierarchy::l2Stats(uint32_t core) const
+{
+    return l2[core].stats();
+}
+
+const CacheStats &
+CacheHierarchy::l3Stats() const
+{
+    return l3.stats();
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (uint32_t c = 0; c < numCores; ++c) {
+        l1d[c].resetStats();
+        l1i[c].resetStats();
+        l2[c].resetStats();
+    }
+    l3.resetStats();
+    memCount = 0;
+}
+
+} // namespace looppoint

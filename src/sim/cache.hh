@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Set-associative caches and the three-level hierarchy of paper
+ * Table I: private L1-I/L1-D/L2 per core, one shared inclusive L3,
+ * LRU replacement, write-invalidate coherence between the private
+ * levels via the L3 sharer vector.
+ */
+
+#ifndef LOOPPOINT_SIM_CACHE_HH
+#define LOOPPOINT_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/config.hh"
+
+namespace looppoint {
+
+/** Hit/miss counters for one cache. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * One set-associative LRU cache. Tags only — no data storage. The
+ * optional sharer vector (enabled for the L3) tracks which cores hold
+ * a copy, supporting inclusive coherence.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Look up and allocate on miss (LRU victim).
+     * @param core requesting core (for sharer tracking)
+     * @param evicted set to the victim line address when one exists
+     * @return true on hit
+     */
+    bool access(Addr addr, uint32_t core, bool is_write, Addr *evicted);
+
+    /**
+     * Insert a line without touching demand statistics (prefetch
+     * fill). Returns the evicted line address, or 0 if none.
+     */
+    Addr fill(Addr addr, uint32_t core);
+
+    /** Remove a line if present; returns true if it was. */
+    bool invalidate(Addr addr);
+
+    /** True if the line is resident (no LRU update, no stats). */
+    bool contains(Addr addr) const;
+
+    /** Sharer bitmask of a resident line (L3 only); 0 if absent. */
+    uint64_t sharers(Addr addr) const;
+
+    /** Drop a core from a line's sharer set. */
+    void removeSharer(Addr addr, uint32_t core);
+
+    const CacheStats &stats() const { return cacheStats; }
+    void resetStats() { cacheStats = CacheStats{}; }
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        uint64_t lru = 0;
+        uint64_t sharerMask = 0;
+        bool valid = false;
+    };
+
+    uint64_t lineAddr(Addr addr) const { return addr / cfg.lineBytes; }
+    uint32_t setIndex(uint64_t line) const
+    {
+        return static_cast<uint32_t>(line % numSets);
+    }
+
+    CacheConfig cfg;
+    uint32_t numSets;
+    std::vector<Line> lines; ///< numSets x assoc
+    uint64_t lruClock = 0;
+    CacheStats cacheStats;
+};
+
+/** Result of one hierarchy access. */
+struct MemAccessResult
+{
+    uint32_t latency = 0;
+    /** Deepest level that hit: 1=L1, 2=L2, 3=L3, 4=memory. */
+    uint32_t hitLevel = 1;
+};
+
+/**
+ * The full cache hierarchy. Coherence model: on a write, other cores'
+ * private copies are invalidated (write-invalidate); the L3 is
+ * inclusive of all private caches, so an L3 eviction back-invalidates
+ * the private levels.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const SimConfig &cfg, uint32_t num_cores);
+
+    /** Data access from `core`. */
+    MemAccessResult access(uint32_t core, Addr addr, bool is_write);
+
+    /** Instruction fetch for one block. */
+    MemAccessResult fetch(uint32_t core, Addr pc);
+
+    /** Warm the hierarchy without timing (functional warmup). */
+    void warmAccess(uint32_t core, Addr addr, bool is_write);
+    void warmFetch(uint32_t core, Addr pc);
+
+    /** Prefetches issued into the L2s (demand-miss triggered). */
+    uint64_t prefetchesIssued() const { return prefetchCount; }
+
+    const CacheStats &l1dStats(uint32_t core) const;
+    const CacheStats &l1iStats(uint32_t core) const;
+    const CacheStats &l2Stats(uint32_t core) const;
+    const CacheStats &l3Stats() const;
+    uint64_t memAccesses() const { return memCount; }
+
+    void resetStats();
+
+  private:
+    void invalidateOthers(uint32_t core, Addr addr);
+    void backInvalidate(Addr addr);
+
+    SimConfig cfg;
+    uint32_t numCores;
+    std::vector<Cache> l1d;
+    std::vector<Cache> l1i;
+    std::vector<Cache> l2;
+    Cache l3;
+    uint64_t memCount = 0;
+    uint64_t prefetchCount = 0;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_SIM_CACHE_HH

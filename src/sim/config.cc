@@ -1,0 +1,39 @@
+#include "sim/config.hh"
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+std::string
+cacheLine(const char *name, const CacheConfig &c)
+{
+    return strFormat("  %-16s %uK, %u-way, %uB lines, LRU, %u-cycle\n",
+                     name, c.sizeBytes / 1024, c.assoc, c.lineBytes,
+                     c.latency);
+}
+
+} // namespace
+
+std::string
+SimConfig::describe() const
+{
+    std::string s;
+    s += strFormat("  %-16s %s\n", "Core",
+                   coreType == CoreType::OutOfOrder
+                       ? "out-of-order (Gainestown-like)"
+                       : "in-order");
+    s += strFormat("  %-16s %.2f GHz, %u-entry ROB, width %u\n",
+                   "Pipeline", freqGHz, robSize, dispatchWidth);
+    s += strFormat("  %-16s Pentium M-style hybrid, %u-cycle penalty\n",
+                   "Branch pred.", branchMispredictPenalty);
+    s += cacheLine("L1-I cache", l1i);
+    s += cacheLine("L1-D cache", l1d);
+    s += cacheLine("L2 cache", l2);
+    s += cacheLine("L3 cache", l3);
+    s += strFormat("  %-16s %u cycles\n", "DRAM", memLatency);
+    return s;
+}
+
+} // namespace looppoint

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Timing-simulation configuration. Defaults reproduce paper Table I:
+ * a Gainestown-like out-of-order multicore (2.66 GHz, 128-entry ROB,
+ * Pentium M branch predictor, 32K L1s, 256K L2, 8M shared L3, LRU).
+ */
+
+#ifndef LOOPPOINT_SIM_CONFIG_HH
+#define LOOPPOINT_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace looppoint {
+
+/** Core timing model selector. */
+enum class CoreType : uint8_t
+{
+    OutOfOrder, ///< Gainestown-like (paper default)
+    InOrder     ///< Fig. 5b portability study
+};
+
+/** One cache level's geometry. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t assoc = 8;
+    uint32_t lineBytes = 64;
+    uint32_t latency = 3; ///< access latency in cycles
+};
+
+/** Full simulated-system configuration (paper Table I). */
+struct SimConfig
+{
+    CoreType coreType = CoreType::OutOfOrder;
+    double freqGHz = 2.66;
+    uint32_t robSize = 128;
+    uint32_t dispatchWidth = 4;
+    uint32_t branchMispredictPenalty = 14;
+
+    /**
+     * Next-line prefetch degree on L2 demand misses (0 = disabled,
+     * the Table I baseline; used by the microarchitecture ablation).
+     */
+    uint32_t prefetchDegree = 0;
+
+    CacheConfig l1i{32 * 1024, 4, 64, 1};
+    CacheConfig l1d{32 * 1024, 8, 64, 3};
+    CacheConfig l2{256 * 1024, 8, 64, 9};
+    CacheConfig l3{8 * 1024 * 1024, 16, 64, 34};
+    uint32_t memLatency = 175;
+
+    // Op latencies (issue-to-result, cycles).
+    uint32_t latIntAlu = 1;
+    uint32_t latIntMul = 3;
+    uint32_t latIntDiv = 18;
+    uint32_t latFpAdd = 3;
+    uint32_t latFpMul = 5;
+    uint32_t latFpDiv = 20;
+    uint32_t latBranch = 1;
+    uint32_t latAtomicExtra = 12; ///< added to the cache latency
+
+    /** Human-readable Table I-style description. */
+    std::string describe() const;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_SIM_CONFIG_HH

@@ -1,0 +1,158 @@
+#include "sim/core_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+CoreModel::CoreModel(const SimConfig &cfg_, uint32_t core_id,
+                     CacheHierarchy &hierarchy_)
+    : cfg(cfg_), coreId(core_id), hierarchy(&hierarchy_),
+      inOrder(cfg_.coreType == CoreType::InOrder),
+      ring(kRing, 0)
+{}
+
+uint32_t
+CoreModel::opLatency(OpClass op) const
+{
+    switch (op) {
+      case OpClass::IntAlu: return cfg.latIntAlu;
+      case OpClass::IntMul: return cfg.latIntMul;
+      case OpClass::IntDiv: return cfg.latIntDiv;
+      case OpClass::FpAdd: return cfg.latFpAdd;
+      case OpClass::FpMul: return cfg.latFpMul;
+      case OpClass::FpDiv: return cfg.latFpDiv;
+      case OpClass::Branch: return cfg.latBranch;
+      default: return 1;
+    }
+}
+
+void
+CoreModel::executeBlock(const BasicBlock &bb,
+                        const std::vector<MemRef> &refs,
+                        bool branch_taken)
+{
+    ++coreStats.blocks;
+
+    // Instruction fetch: an I-cache miss stalls the front end.
+    MemAccessResult fetch = hierarchy->fetch(coreId, bb.pc);
+    if (fetch.latency > cfg.l1i.latency)
+        dispatchCycle += static_cast<double>(fetch.latency -
+                                             cfg.l1i.latency);
+
+    const double width_step = 1.0 / cfg.dispatchWidth;
+    size_t ref_cursor = 0;
+
+    for (size_t i = 0; i < bb.instrs.size(); ++i) {
+        const InstrDesc &d = bb.instrs[i];
+        double dispatch = dispatchCycle;
+
+        // The ROB bounds how far dispatch runs ahead of the oldest
+        // incomplete instruction.
+        if (!inOrder && seq >= cfg.robSize) {
+            uint64_t oldest = ring[(seq - cfg.robSize) % kRing];
+            dispatch = std::max(dispatch, static_cast<double>(oldest));
+        }
+
+        // Register dependences through the completion ring.
+        double ready = dispatch;
+        if (d.srcDist1 && d.srcDist1 <= seq) {
+            uint64_t t = ring[(seq - d.srcDist1) % kRing];
+            ready = std::max(ready, static_cast<double>(t));
+        }
+        if (d.srcDist2 && d.srcDist2 <= seq) {
+            uint64_t t = ring[(seq - d.srcDist2) % kRing];
+            ready = std::max(ready, static_cast<double>(t));
+        }
+
+        uint64_t latency;
+        if (isMemOp(d.op)) {
+            MemRef ref{};
+            if (ref_cursor < refs.size() &&
+                refs[ref_cursor].instrIndex == i) {
+                ref = refs[ref_cursor];
+                ++ref_cursor;
+            }
+            MemAccessResult mr =
+                hierarchy->access(coreId, ref.addr, isMemWrite(d.op));
+            if (d.op == OpClass::Store) {
+                // Stores retire through the store buffer: one cycle to
+                // issue; the cache access happens in the background.
+                latency = 1;
+            } else if (d.op == OpClass::AtomicRmw) {
+                latency = mr.latency + cfg.latAtomicExtra;
+            } else {
+                latency = mr.latency;
+            }
+        } else {
+            latency = opLatency(d.op);
+        }
+
+        double completion = ready + static_cast<double>(latency);
+        ring[seq % kRing] = static_cast<uint64_t>(completion);
+        ++seq;
+        maxCompletion = std::max(maxCompletion,
+                                 static_cast<uint64_t>(completion));
+
+        if (inOrder) {
+            // Issue in order: a stalled instruction stalls dispatch.
+            dispatchCycle = std::max(dispatchCycle + width_step, ready);
+        } else {
+            dispatchCycle = dispatch + width_step;
+        }
+
+        if (d.op == OpClass::Branch) {
+            Addr pc = bb.pc + 4 * static_cast<Addr>(i);
+            bool correct = bp.predictAndTrain(pc, branch_taken);
+            if (!correct) {
+                // Redirect: the front end resumes after resolution.
+                dispatchCycle = std::max(
+                    dispatchCycle,
+                    completion +
+                        static_cast<double>(cfg.branchMispredictPenalty));
+            }
+        }
+    }
+
+    coreStats.instructions += bb.numInstrs();
+}
+
+void
+CoreModel::warmBlock(const BasicBlock &bb,
+                     const std::vector<MemRef> &refs, bool branch_taken)
+{
+    hierarchy->warmFetch(coreId, bb.pc);
+    size_t ref_cursor = 0;
+    for (size_t i = 0; i < bb.instrs.size(); ++i) {
+        const InstrDesc &d = bb.instrs[i];
+        if (isMemOp(d.op)) {
+            if (ref_cursor < refs.size() &&
+                refs[ref_cursor].instrIndex == i) {
+                hierarchy->warmAccess(coreId, refs[ref_cursor].addr,
+                                     isMemWrite(d.op));
+                ++ref_cursor;
+            }
+        } else if (d.op == OpClass::Branch) {
+            Addr pc = bb.pc + 4 * static_cast<Addr>(i);
+            bp.predictAndTrain(pc, branch_taken);
+        }
+    }
+}
+
+void
+CoreModel::advanceTo(uint64_t cycle)
+{
+    dispatchCycle = std::max(dispatchCycle, static_cast<double>(cycle));
+}
+
+void
+CoreModel::resetTime()
+{
+    dispatchCycle = 0.0;
+    maxCompletion = 0;
+    seq = 0;
+    std::fill(ring.begin(), ring.end(), 0);
+}
+
+} // namespace looppoint

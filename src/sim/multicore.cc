@@ -1,0 +1,246 @@
+#include "sim/multicore.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+SimMetrics &
+SimMetrics::operator+=(const SimMetrics &other)
+{
+    cycles += other.cycles;
+    instructions += other.instructions;
+    filteredInstructions += other.filteredInstructions;
+    runtimeSeconds += other.runtimeSeconds;
+    branches += other.branches;
+    branchMispredicts += other.branchMispredicts;
+    l1dAccesses += other.l1dAccesses;
+    l1dMisses += other.l1dMisses;
+    l2Accesses += other.l2Accesses;
+    l2Misses += other.l2Misses;
+    l3Accesses += other.l3Accesses;
+    l3Misses += other.l3Misses;
+    return *this;
+}
+
+namespace {
+
+ExecConfig
+withAddresses(ExecConfig cfg)
+{
+    cfg.genAddresses = true;
+    return cfg;
+}
+
+} // namespace
+
+MulticoreSim::MulticoreSim(const Program &prog_, ExecConfig exec_cfg,
+                           const SimConfig &sim_cfg, SyncArbiter *arbiter)
+    : simCfg(sim_cfg), prog(&prog_),
+      eng(prog_, withAddresses(exec_cfg), arbiter),
+      hierarchy(sim_cfg, exec_cfg.numThreads),
+      numThreads(exec_cfg.numThreads)
+{
+    for (uint32_t c = 0; c < numThreads; ++c)
+        cores.emplace_back(simCfg, c, hierarchy);
+}
+
+MulticoreSim::MulticoreSim(const MulticoreSim &other)
+    : simCfg(other.simCfg), prog(other.prog), eng(other.eng),
+      hierarchy(other.hierarchy), cores(other.cores),
+      numThreads(other.numThreads)
+{
+    for (auto &core : cores)
+        core.rebindHierarchy(hierarchy);
+}
+
+void
+MulticoreSim::fastForward(const std::function<bool()> &stop, bool warm)
+{
+    // Flow-controlled functional execution, mirroring the profiling
+    // schedule. The boundary markers are (PC, count) pairs whose global
+    // counts are schedule-invariant, so positioning under this schedule
+    // is equivalent to positioning under the timing schedule.
+    const uint64_t quantum = 1000;
+    while (!eng.allFinished()) {
+        if (stop && stop())
+            return;
+        bool progressed = false;
+        for (uint32_t tid = 0; tid < numThreads; ++tid) {
+            if (!eng.runnable(tid))
+                continue;
+            uint64_t start = eng.icount(tid);
+            while (eng.icount(tid) - start < quantum) {
+                StepResult r = eng.step(tid);
+                if (r.kind != StepResult::Kind::Block)
+                    break;
+                progressed = true;
+                if (warm) {
+                    cores[tid].warmBlock(prog->blocks[r.block],
+                                         eng.memRefs(tid),
+                                         eng.branchTaken(tid));
+                }
+                if (stop && stop())
+                    return;
+            }
+        }
+        if (!progressed && !eng.allFinished())
+            panic("MulticoreSim::fastForward: no thread can progress");
+    }
+}
+
+SimMetrics
+MulticoreSim::runDetailed(const std::function<bool()> &stop)
+{
+    // Align clocks and reset statistics at the region start.
+    hierarchy.resetStats();
+    for (auto &core : cores) {
+        core.resetTime();
+        core.resetStats();
+    }
+    const uint64_t icount_base = eng.globalIcount();
+    const uint64_t filtered_base = eng.globalFilteredIcount();
+
+    std::vector<char> asleep(numThreads, 0);
+    bool done = false;
+    while (!done) {
+        // Pick the runnable thread with the smallest core-local time.
+        uint32_t best = numThreads;
+        uint64_t best_time = std::numeric_limits<uint64_t>::max();
+        for (uint32_t tid = 0; tid < numThreads; ++tid) {
+            if (eng.finished(tid) || asleep[tid])
+                continue;
+            if (!eng.runnable(tid)) {
+                asleep[tid] = 1;
+                continue;
+            }
+            uint64_t t = cores[tid].time();
+            if (t < best_time) {
+                best_time = t;
+                best = tid;
+            }
+        }
+        if (best == numThreads) {
+            if (eng.allFinished())
+                break;
+            // Everyone is asleep or finished: wake the runnable ones
+            // (a prior step may have released them).
+            bool woke = false;
+            for (uint32_t tid = 0; tid < numThreads; ++tid) {
+                if (asleep[tid] && eng.runnable(tid)) {
+                    asleep[tid] = 0;
+                    woke = true;
+                }
+            }
+            if (!woke)
+                panic("MulticoreSim: deadlock in detailed mode");
+            continue;
+        }
+
+        StepResult r = eng.step(best);
+        switch (r.kind) {
+          case StepResult::Kind::Block: {
+            cores[best].executeBlock(prog->blocks[r.block],
+                                     eng.memRefs(best),
+                                     eng.branchTaken(best));
+            // Wake threads this step may have released; they resume at
+            // the waker's current time.
+            uint64_t now = cores[best].time();
+            for (uint32_t tid = 0; tid < numThreads; ++tid) {
+                if (asleep[tid] && eng.runnable(tid)) {
+                    asleep[tid] = 0;
+                    cores[tid].advanceTo(now);
+                }
+            }
+            if (stop && stop())
+                done = true;
+            break;
+          }
+          case StepResult::Kind::Blocked:
+            asleep[best] = 1;
+            break;
+          case StepResult::Kind::Finished:
+            break;
+        }
+    }
+
+    SimMetrics m;
+    for (uint32_t tid = 0; tid < numThreads; ++tid) {
+        m.cycles = std::max({m.cycles, cores[tid].time(),
+                             cores[tid].lastCompletion()});
+        m.branches += cores[tid].branchStats().branches;
+        m.branchMispredicts += cores[tid].branchStats().mispredicts;
+        m.l1dAccesses += hierarchy.l1dStats(tid).accesses;
+        m.l1dMisses += hierarchy.l1dStats(tid).misses;
+        m.l2Accesses += hierarchy.l2Stats(tid).accesses;
+        m.l2Misses += hierarchy.l2Stats(tid).misses;
+    }
+    m.l3Accesses = hierarchy.l3Stats().accesses;
+    m.l3Misses = hierarchy.l3Stats().misses;
+    m.instructions = eng.globalIcount() - icount_base;
+    m.filteredInstructions = eng.globalFilteredIcount() - filtered_base;
+    m.runtimeSeconds =
+        static_cast<double>(m.cycles) / (simCfg.freqGHz * 1e9);
+    return m;
+}
+
+uint64_t
+MulticoreSim::maxCoreTime() const
+{
+    uint64_t t = 0;
+    for (const auto &core : cores)
+        t = std::max({t, core.time(), core.lastCompletion()});
+    return t;
+}
+
+SimMetrics
+MulticoreSim::run()
+{
+    return runDetailed();
+}
+
+SimMetrics
+MulticoreSim::runRegion(Addr start_pc, uint64_t start_count,
+                        Addr end_pc, uint64_t end_count, bool warmup)
+{
+    // Resolve marker PCs to blocks once.
+    BlockId start_block = kInvalidBlock;
+    BlockId end_block = kInvalidBlock;
+    for (const auto &bb : prog->blocks) {
+        if (start_pc != 0 && bb.pc == start_pc)
+            start_block = bb.id;
+        if (end_pc != 0 && bb.pc == end_pc)
+            end_block = bb.id;
+    }
+    if (start_pc != 0 && start_block == kInvalidBlock)
+        fatal("runRegion: no block at start pc %#llx",
+              static_cast<unsigned long long>(start_pc));
+    if (end_pc != 0 && end_block == kInvalidBlock)
+        fatal("runRegion: no block at end pc %#llx",
+              static_cast<unsigned long long>(end_pc));
+
+    // A boundary (pc, n) sits just before the n-th execution of pc.
+    // We cut just *after* the n-th execution instead: loop-header
+    // executions are bursty, so "after the (n-1)-th" can be a long way
+    // (a whole kernel invocation) before the intended point, while
+    // "after the n-th" is off by exactly one marker block (a few
+    // instructions). Both region ends use the same convention, so the
+    // regions still tile the execution exactly.
+    if (start_pc != 0 && start_count > 0) {
+        auto at_start = [&] {
+            return eng.blockExecCount(start_block) >= start_count;
+        };
+        fastForward(at_start, warmup);
+    }
+
+    if (end_pc == 0)
+        return runDetailed();
+    auto at_end = [&] {
+        return eng.blockExecCount(end_block) >= end_count;
+    };
+    return runDetailed(at_end);
+}
+
+} // namespace looppoint

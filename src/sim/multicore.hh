@@ -1,0 +1,143 @@
+/**
+ * @file
+ * MulticoreSim: the timing-driven execution mode ("unconstrained
+ * simulation") plus functional fast-forward with warmup.
+ *
+ * In detailed mode the simulated microarchitecture decides thread
+ * progress: the engine is stepped in core-local-time order, blocked
+ * (passive) threads sleep until a wake event, and active waiters burn
+ * cycles in spin loops — so spin iteration counts, lock hand-off and
+ * dynamic chunk assignment all follow simulated time, exactly the
+ * "how to simulate" behavior the paper argues for (Section II). Pass a
+ * ReplayArbiter to get *constrained* simulation instead, including its
+ * artificial-stall error (Section V-A.1).
+ */
+
+#ifndef LOOPPOINT_SIM_MULTICORE_HH
+#define LOOPPOINT_SIM_MULTICORE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/engine.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/core_model.hh"
+
+namespace looppoint {
+
+/** Metrics of one (full or region) detailed simulation. */
+struct SimMetrics
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;  ///< retired, incl. spin/sync code
+    uint64_t filteredInstructions = 0;
+    double runtimeSeconds = 0.0;
+    uint64_t branches = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t l3Accesses = 0;
+    uint64_t l3Misses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double
+    mpki(uint64_t events) const
+    {
+        return instructions ? 1000.0 * static_cast<double>(events) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+
+    double branchMpki() const { return mpki(branchMispredicts); }
+    double l1dMpki() const { return mpki(l1dMisses); }
+    double l2Mpki() const { return mpki(l2Misses); }
+    double l3Mpki() const { return mpki(l3Misses); }
+
+    SimMetrics &operator+=(const SimMetrics &other);
+};
+
+/** See file comment. */
+class MulticoreSim
+{
+  public:
+    /**
+     * @param prog program to simulate
+     * @param exec_cfg threads / wait policy / seed (genAddresses is
+     *        forced on — the timing model needs addresses)
+     * @param sim_cfg microarchitecture (paper Table I defaults)
+     * @param arbiter optional ReplayArbiter for constrained simulation
+     */
+    MulticoreSim(const Program &prog, ExecConfig exec_cfg,
+                 const SimConfig &sim_cfg,
+                 SyncArbiter *arbiter = nullptr);
+
+    /**
+     * Deep snapshot: copies the functional execution state, caches,
+     * predictors, and core clocks. This is the "region pinball with
+     * warmup": one warming pass can be checkpointed at every region
+     * start, and each checkpoint simulated independently (and in
+     * parallel) afterwards.
+     *
+     * Note: the copy aliases the original's SyncArbiter (if any); for
+     * constrained snapshots give each copy its own arbiter via
+     * engine().setArbiter().
+     */
+    MulticoreSim(const MulticoreSim &other);
+    MulticoreSim &operator=(const MulticoreSim &) = delete;
+
+    /** Detailed simulation of the whole program from the start. */
+    SimMetrics run();
+
+    /**
+     * Sampled-region simulation: functionally fast-forward (warming
+     * caches and predictors when `warmup`) until just past the
+     * (start_pc, start_count) boundary, then simulate in detail until
+     * just past (end_pc, end_count). end_pc == 0 means program end.
+     */
+    SimMetrics runRegion(Addr start_pc, uint64_t start_count,
+                         Addr end_pc, uint64_t end_count,
+                         bool warmup = true);
+
+    /**
+     * Functional fast-forward until `stop` returns true (checked after
+     * every executed block); warms structures when `warm`.
+     */
+    void fastForward(const std::function<bool()> &stop, bool warm);
+
+    /**
+     * Detailed simulation until `stop` returns true or the program
+     * finishes. Stats and core clocks reset on entry.
+     */
+    SimMetrics runDetailed(const std::function<bool()> &stop = {});
+
+    /** Largest core-local time (cycles) since the last runDetailed
+     * clock reset; usable in live stop conditions. */
+    uint64_t maxCoreTime() const;
+
+    const ExecutionEngine &engine() const { return eng; }
+    ExecutionEngine &engine() { return eng; }
+    const SimConfig &config() const { return simCfg; }
+
+  private:
+    SimConfig simCfg;
+    const Program *prog;
+    ExecutionEngine eng;
+    CacheHierarchy hierarchy;
+    std::vector<CoreModel> cores;
+    uint32_t numThreads;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_SIM_MULTICORE_HH

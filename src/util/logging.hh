@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for conditions that are the caller's fault (bad configuration,
+ * invalid arguments); it throws FatalError so tests can observe it.
+ * panic() is for internal invariant violations (a bug in this library);
+ * it aborts the process.
+ * warn()/inform() print status without stopping the run.
+ */
+
+#ifndef LOOPPOINT_UTIL_LOGGING_HH
+#define LOOPPOINT_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace looppoint {
+
+/** Exception thrown by fatal() for user-correctable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user error and throw FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; the run continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; the run continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (useful in tests and benches). */
+void setQuiet(bool quiet);
+
+/**
+ * Internal-invariant check that is active in all build types.
+ * Prefer this over <cassert> so release benches keep the checks.
+ */
+#define LP_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::looppoint::panic("assertion '%s' failed at %s:%d", #cond,   \
+                               __FILE__, __LINE__);                       \
+        }                                                                 \
+    } while (0)
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_UTIL_LOGGING_HH

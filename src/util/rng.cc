@@ -1,0 +1,152 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+hashString(std::string_view s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+    return splitMix64(state);
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+    : _seed(seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+}
+
+Rng
+Rng::fork(std::string_view stream_name) const
+{
+    return Rng(hashCombine(_seed, hashString(stream_name)));
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    LP_ASSERT(bound > 0);
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    LP_ASSERT(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpareGaussian) {
+        haveSpareGaussian = false;
+        return spareGaussian;
+    }
+    double u, v, r2;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        r2 = u * u + v * v;
+    } while (r2 >= 1.0 || r2 == 0.0);
+    double scale = std::sqrt(-2.0 * std::log(r2) / r2);
+    spareGaussian = v * scale;
+    haveSpareGaussian = true;
+    return u * scale;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+void
+Rng::save(std::ostream &os) const
+{
+    uint64_t spare_bits;
+    std::memcpy(&spare_bits, &spareGaussian, sizeof(spare_bits));
+    os << _seed << ' ' << s[0] << ' ' << s[1] << ' ' << s[2] << ' '
+       << s[3] << ' ' << (haveSpareGaussian ? 1 : 0) << ' '
+       << spare_bits << '\n';
+}
+
+void
+Rng::load(std::istream &is)
+{
+    int have = 0;
+    uint64_t spare_bits = 0;
+    if (!(is >> _seed >> s[0] >> s[1] >> s[2] >> s[3] >> have >>
+          spare_bits))
+        fatal("Rng::load: malformed generator state");
+    haveSpareGaussian = (have != 0);
+    std::memcpy(&spareGaussian, &spare_bits, sizeof(spareGaussian));
+}
+
+} // namespace looppoint

@@ -1,0 +1,113 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geoMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        LP_ASSERT(x > 0.0);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double mu = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mu) * (x - mu);
+    return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    LP_ASSERT(p >= 0.0 && p <= 100.0);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    size_t lo_idx = static_cast<size_t>(rank);
+    size_t hi_idx = std::min(lo_idx + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo_idx);
+    return xs[lo_idx] * (1.0 - frac) + xs[hi_idx] * frac;
+}
+
+double
+relErrorPct(double predicted, double actual)
+{
+    if (actual == 0.0)
+        return predicted == 0.0 ? 0.0 : 100.0;
+    return (predicted - actual) / actual * 100.0;
+}
+
+double
+absRelErrorPct(double predicted, double actual)
+{
+    return std::fabs(relErrorPct(predicted, actual));
+}
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace looppoint

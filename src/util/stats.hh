@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics helpers shared by the profiler, the evaluation
+ * pipeline, and the benchmark harnesses.
+ */
+
+#ifndef LOOPPOINT_UTIL_STATS_HH
+#define LOOPPOINT_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace looppoint {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; requires strictly positive inputs. */
+double geoMean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Maximum; 0 for an empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Percentile via linear interpolation between closest ranks,
+ * p in [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Signed relative error (predicted vs actual) in percent. */
+double relErrorPct(double predicted, double actual);
+
+/** Absolute relative error in percent. */
+double absRelErrorPct(double predicted, double actual);
+
+/**
+ * Streaming accumulator for mean/min/max/stddev without storing samples.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return n; }
+    double mean() const { return n ? m : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double variance() const;
+    double stddev() const;
+
+  private:
+    size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_UTIL_STATS_HH

@@ -1,0 +1,209 @@
+#include "workload/descriptor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "isa/program_builder.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+
+std::string_view
+inputClassName(InputClass c)
+{
+    switch (c) {
+      case InputClass::Test: return "test";
+      case InputClass::Train: return "train";
+      case InputClass::Ref: return "ref";
+      case InputClass::NpbA: return "A";
+      case InputClass::NpbC: return "C";
+      case InputClass::NpbD: return "D";
+      default: return "?";
+    }
+}
+
+ClassScale
+classScale(InputClass c)
+{
+    switch (c) {
+      case InputClass::Test: return {0.25, 0.2};
+      case InputClass::Train: return {1.0, 1.0};
+      case InputClass::Ref: return {3.0, 20.0};
+      case InputClass::NpbA: return {0.5, 0.5};
+      case InputClass::NpbC: return {1.0, 1.0};
+      case InputClass::NpbD: return {4.0, 8.0};
+      default: return {1.0, 1.0};
+    }
+}
+
+SyncUse
+AppDescriptor::declaredSync() const
+{
+    SyncUse u;
+    for (const auto &k : kernels) {
+        u.staticFor |= (k.sched == SchedPolicy::StaticFor);
+        u.dynamicFor |= (k.sched == SchedPolicy::DynamicFor);
+        u.barrier = true; // implicit end-of-region barriers
+        u.atomic |= k.useAtomic;
+        u.lock |= k.useCritical;
+        u.reduction |= k.useReduction;
+        u.master |= k.useMaster;
+        u.single |= k.useSingle;
+    }
+    return u;
+}
+
+namespace {
+
+/** Memory-op stream pattern for a block: mix of shared and private. */
+std::vector<uint8_t>
+streamPattern(double shared_frac, uint8_t shared_id, uint8_t priv_id)
+{
+    std::vector<uint8_t> pattern;
+    int shared_slots =
+        static_cast<int>(std::lround(shared_frac * 8.0));
+    shared_slots = std::clamp(shared_slots, 0, 8);
+    for (int i = 0; i < 8; ++i)
+        pattern.push_back(i < shared_slots ? shared_id : priv_id);
+    return pattern;
+}
+
+void
+lowerKernel(ProgramBuilder &b, const KernelDesc &kd, uint64_t iters,
+            uint32_t lock_id)
+{
+    b.beginKernel(kd.name, kd.sched, iters, kd.chunkSize);
+
+    MemStream shared;
+    shared.footprintBytes = std::max<uint64_t>(64, kd.sharedMB << 20);
+    shared.strideBytes = kd.strideBytes;
+    shared.jumpProb = kd.jumpProb;
+    shared.shared = true;
+    uint8_t s_shared = b.addStream(shared);
+
+    MemStream priv;
+    priv.footprintBytes = std::max<uint64_t>(64, kd.privateKB << 10);
+    priv.strideBytes = kd.strideBytes;
+    priv.jumpProb = kd.jumpProb;
+    priv.shared = false;
+    uint8_t s_priv = b.addStream(priv);
+
+    auto pattern = streamPattern(kd.sharedFrac, s_shared, s_priv);
+
+    if (kd.useMaster || kd.useSingle) {
+        BlockSpec prologue;
+        prologue.numInstrs = 24;
+        prologue.fracMem = 0.25;
+        prologue.streams = {s_priv};
+        b.setMasterPrologue(prologue, kd.useSingle);
+    }
+    if (kd.imbalance > 0.0)
+        b.setImbalance(kd.imbalance);
+
+    BlockSpec body;
+    body.numInstrs = kd.instrsPerBlock;
+    body.fracMem = kd.fracMem;
+    body.fracFp = kd.fracFp;
+    body.ilp = kd.ilp;
+    body.streams = pattern;
+
+    uint32_t plain_blocks = kd.numBodyBlocks;
+    if (kd.innerTrips > 0 && plain_blocks > 0)
+        --plain_blocks; // one block moves inside the inner loop
+    for (uint32_t i = 0; i < plain_blocks; ++i)
+        b.addBlock(body);
+
+    if (kd.condProb > 0.0) {
+        BlockSpec cond;
+        cond.numInstrs = 8;
+        cond.fracMem = 0.2;
+        cond.streams = {s_priv};
+        BlockSpec then_blk = body;
+        then_blk.numInstrs = std::max(8u, kd.instrsPerBlock / 2);
+        BlockSpec else_blk = body;
+        else_blk.numInstrs = std::max(8u, kd.instrsPerBlock / 3);
+        else_blk.fracMem = kd.fracMem * 0.5;
+        BlockSpec join;
+        join.numInstrs = 6;
+        join.fracMem = 0.1;
+        join.streams = {s_priv};
+        b.addCond(cond, then_blk, else_blk, join, kd.condProb);
+    }
+
+    if (kd.innerTrips > 0) {
+        b.beginInnerLoop(kd.innerTrips, kd.innerJitter);
+        b.addBlock(body);
+        b.endInnerLoop();
+    }
+
+    if (kd.useAtomic) {
+        BlockSpec atomic_blk;
+        atomic_blk.numInstrs = 6;
+        atomic_blk.fracMem = 0.3;
+        atomic_blk.streams = {s_shared};
+        b.addAtomic(atomic_blk);
+    }
+
+    if (kd.useCritical) {
+        BlockSpec cs;
+        cs.numInstrs = 18;
+        cs.fracMem = 0.4;
+        cs.streams = {s_shared};
+        b.addCritical(lock_id, cs);
+    }
+
+    if (kd.useReduction) {
+        BlockSpec merge;
+        merge.numInstrs = 10;
+        merge.fracMem = 0.3;
+        merge.streams = {s_shared};
+        b.setReduction(merge);
+    }
+
+    b.endKernel();
+}
+
+} // namespace
+
+Program
+generateProgram(const AppDescriptor &app, InputClass input)
+{
+    ClassScale scale = classScale(input);
+    std::string prog_name =
+        app.name + "." + std::string(inputClassName(input));
+    ProgramBuilder b(prog_name, hashString(app.name));
+    b.setNumLocks(2);
+
+    std::vector<uint32_t> built;
+    for (const auto &kd : app.kernels) {
+        auto iters = static_cast<uint64_t>(
+            std::max(1.0, static_cast<double>(kd.itersPerInstance) *
+                              scale.itersMul));
+        uint32_t lock_id =
+            static_cast<uint32_t>(built.size()) % 2;
+        lowerKernel(b, kd, iters, lock_id);
+        built.push_back(static_cast<uint32_t>(built.size()));
+    }
+
+    if (!app.prologueKernels.empty())
+        b.runKernels(app.prologueKernels, 1);
+
+    std::vector<uint32_t> main_loop = app.mainLoopKernels;
+    if (main_loop.empty()) {
+        for (uint32_t i = 0; i < built.size(); ++i) {
+            bool in_prologue =
+                std::find(app.prologueKernels.begin(),
+                          app.prologueKernels.end(),
+                          i) != app.prologueKernels.end();
+            if (!in_prologue)
+                main_loop.push_back(i);
+        }
+    }
+    auto steps = static_cast<uint64_t>(std::max(
+        1.0, static_cast<double>(app.timesteps) * scale.stepsMul));
+    b.runKernels(main_loop, steps);
+
+    return b.build();
+}
+
+} // namespace looppoint

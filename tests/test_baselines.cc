@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the baseline methodologies: BarrierPoint region
+ * accounting and its failure mode on barrier-poor apps, naive
+ * MT-SimPoint slicing, and time-based sampling coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/barrierpoint.hh"
+#include "baselines/naive_simpoint.hh"
+#include "baselines/time_sampling.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workload/descriptor.hh"
+
+namespace looppoint {
+namespace {
+
+TEST(BarrierPoint, RegionsMatchRunList)
+{
+    Program prog =
+        generateProgram(findApp("628.pop2_s.1"), InputClass::Test);
+    BarrierPointOptions opts;
+    opts.numThreads = 4;
+    BarrierPointResult r = analyzeBarrierPoint(prog, opts);
+    EXPECT_EQ(r.regionIcounts.size(), prog.runList.size());
+    uint64_t sum = 0;
+    for (uint64_t icount : r.regionIcounts)
+        sum += icount;
+    EXPECT_EQ(sum, r.totalFilteredIcount);
+    EXPECT_GT(r.chosenK, 0u);
+    EXPECT_FALSE(r.regions.empty());
+}
+
+TEST(BarrierPoint, MultipliersCoverAllWork)
+{
+    Program prog =
+        generateProgram(findApp("654.roms_s.1"), InputClass::Test);
+    BarrierPointOptions opts;
+    opts.numThreads = 4;
+    BarrierPointResult r = analyzeBarrierPoint(prog, opts);
+    double covered = 0.0;
+    for (const auto &region : r.regions)
+        covered += region.multiplier *
+                   static_cast<double>(region.filteredIcount);
+    EXPECT_NEAR(covered, static_cast<double>(r.totalFilteredIcount),
+                1.0);
+}
+
+TEST(BarrierPoint, FailsOnBarrierPoorApps)
+{
+    // 638.imagick / 657.xz: few kernel instances, so the largest
+    // inter-barrier region is a large fraction of the program and the
+    // parallel speedup collapses — while a barrier-rich app (pop2)
+    // does fine. This is the paper's Fig. 9 story.
+    Program imagick =
+        generateProgram(findApp("638.imagick_s.1"), InputClass::Train);
+    Program pop2 =
+        generateProgram(findApp("628.pop2_s.1"), InputClass::Train);
+    BarrierPointOptions opts;
+    opts.numThreads = 8;
+
+    BarrierPointResult bp_img = analyzeBarrierPoint(imagick, opts);
+    BarrierPointResult bp_pop = analyzeBarrierPoint(pop2, opts);
+
+    EXPECT_LT(bp_img.theoreticalParallelSpeedup(), 8.0);
+    EXPECT_GT(bp_pop.theoreticalParallelSpeedup(),
+              bp_img.theoreticalParallelSpeedup() * 4);
+}
+
+TEST(NaiveSimpoint, SlicesCoverExecution)
+{
+    Program prog =
+        generateProgram(findApp("619.lbm_s.1"), InputClass::Test);
+    NaiveSimpointOptions opts;
+    opts.numThreads = 4;
+    opts.sliceSizeGlobal = 100'000;
+    NaiveSimpointResult r = analyzeNaiveSimpoint(prog, opts);
+    EXPECT_GT(r.sliceIcounts.size(), 2u);
+    EXPECT_GT(r.totalIcount, 0u);
+    EXPECT_FALSE(r.regions.empty());
+    for (const auto &region : r.regions)
+        EXPECT_GT(region.endIcount, region.startIcount);
+}
+
+TEST(NaiveSimpoint, ActiveWaitInflatesSliceCount)
+{
+    // Under the active policy the naive scheme slices spin
+    // instructions too, so it produces more slices for the same
+    // program — the instability LoopPoint's filtered counting avoids.
+    Program prog =
+        generateProgram(findApp("657.xz_s.2"), InputClass::Test);
+    NaiveSimpointOptions opts;
+    opts.numThreads = 4;
+    opts.sliceSizeGlobal = 100'000;
+
+    opts.waitPolicy = WaitPolicy::Passive;
+    auto passive = analyzeNaiveSimpoint(prog, opts);
+    opts.waitPolicy = WaitPolicy::Active;
+    auto active = analyzeNaiveSimpoint(prog, opts);
+    EXPECT_GT(active.sliceIcounts.size(), passive.sliceIcounts.size());
+}
+
+TEST(NaiveSimpoint, RegionSimulationRuns)
+{
+    Program prog =
+        generateProgram(findApp("619.lbm_s.1"), InputClass::Test);
+    NaiveSimpointOptions opts;
+    opts.numThreads = 4;
+    opts.sliceSizeGlobal = 150'000;
+    NaiveSimpointResult analysis = analyzeNaiveSimpoint(prog, opts);
+    SimConfig sim_cfg;
+    std::vector<SimMetrics> metrics;
+    for (const auto &r : analysis.regions)
+        metrics.push_back(
+            simulateNaiveRegion(prog, opts, r, sim_cfg));
+    double runtime = extrapolateNaiveRuntime(analysis, metrics);
+    EXPECT_GT(runtime, 0.0);
+}
+
+TEST(TimeSampling, CoversWholeProgramAndPredicts)
+{
+    Program prog =
+        generateProgram(findApp("654.roms_s.1"), InputClass::Test);
+    TimeSamplingOptions opts;
+    opts.numThreads = 4;
+    opts.detailedInstrs = 50'000;
+    opts.fastForwardInstrs = 200'000;
+    TimeSamplingResult r = runTimeSampling(prog, opts, SimConfig{});
+    EXPECT_GT(r.detailedWindows, 2u);
+    EXPECT_GT(r.totalInstructions, 0u);
+    EXPECT_GT(r.predictedRuntimeSeconds, 0.0);
+    EXPECT_NEAR(r.detailFraction(), 0.2, 0.12);
+}
+
+TEST(TimeSampling, ReasonablyAccurateUnderPassive)
+{
+    Program prog =
+        generateProgram(findApp("619.lbm_s.1"), InputClass::Test);
+    TimeSamplingOptions opts;
+    opts.numThreads = 4;
+    opts.detailedInstrs = 80'000;
+    opts.fastForwardInstrs = 160'000;
+    SimConfig sim_cfg;
+    TimeSamplingResult ts = runTimeSampling(prog, opts, sim_cfg);
+
+    ExecConfig ecfg;
+    ecfg.numThreads = 4;
+    double actual = MulticoreSim(prog, ecfg, sim_cfg)
+                        .run()
+                        .runtimeSeconds;
+    EXPECT_LT(absRelErrorPct(ts.predictedRuntimeSeconds, actual),
+              25.0);
+}
+
+TEST(TimeSampling, RejectsZeroWindow)
+{
+    Program prog = generateProgram(demoMatrixApp(), InputClass::Test);
+    TimeSamplingOptions opts;
+    opts.detailedInstrs = 0;
+    EXPECT_THROW(runTimeSampling(prog, opts, SimConfig{}), FatalError);
+}
+
+} // namespace
+} // namespace looppoint

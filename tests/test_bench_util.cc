@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tests for the bench harness helpers (flag parsing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+
+namespace looppoint::bench {
+namespace {
+
+Args
+makeArgs(std::initializer_list<const char *> list)
+{
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>("prog"));
+    for (const char *a : list)
+        argv.push_back(const_cast<char *>(a));
+    return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchArgs, HasDetectsBareAndValuedFlags)
+{
+    Args args = makeArgs({"--quick", "--app=619.lbm_s.1"});
+    EXPECT_TRUE(args.has("quick"));
+    EXPECT_TRUE(args.has("app"));
+    EXPECT_FALSE(args.has("full"));
+    EXPECT_FALSE(args.has("qui")); // no prefix matching
+}
+
+TEST(BenchArgs, GetReturnsValueOrDefault)
+{
+    Args args = makeArgs({"--app=npb-cg", "--scale=250"});
+    EXPECT_EQ(args.get("app"), "npb-cg");
+    EXPECT_EQ(args.get("missing"), "");
+    EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+    EXPECT_EQ(args.getU64("scale", 1000), 250u);
+    EXPECT_EQ(args.getU64("other", 1000), 1000u);
+}
+
+TEST(BenchArgs, BareFlagHasNoValue)
+{
+    Args args = makeArgs({"--quick"});
+    EXPECT_EQ(args.get("quick"), "");
+    EXPECT_EQ(args.getU64("quick", 7), 7u);
+}
+
+} // namespace
+} // namespace looppoint::bench

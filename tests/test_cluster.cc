@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for k-means, BIC model selection, representatives, and the
+ * random projection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/kmeans.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+namespace {
+
+/** Three well-separated Gaussian blobs in 2-D. */
+FeatureMatrix
+makeBlobs(size_t per_blob, uint64_t seed)
+{
+    Rng rng(seed);
+    FeatureMatrix points;
+    const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 12}};
+    for (int b = 0; b < 3; ++b)
+        for (size_t i = 0; i < per_blob; ++i)
+            points.push_back({centers[b][0] + rng.nextGaussian() * 0.5,
+                              centers[b][1] + rng.nextGaussian() * 0.5});
+    return points;
+}
+
+TEST(Kmeans, RecoversBlobs)
+{
+    FeatureMatrix points = makeBlobs(30, 5);
+    Rng rng(9);
+    KmeansResult r = kmeans(points, 3, rng);
+    EXPECT_EQ(r.k, 3u);
+    // All points of one blob share a cluster.
+    for (int b = 0; b < 3; ++b) {
+        uint32_t c = r.assignment[b * 30];
+        for (size_t i = 0; i < 30; ++i)
+            EXPECT_EQ(r.assignment[b * 30 + i], c);
+    }
+    // Distinct blobs get distinct clusters.
+    EXPECT_NE(r.assignment[0], r.assignment[30]);
+    EXPECT_NE(r.assignment[30], r.assignment[60]);
+    EXPECT_LT(r.distortion, 90 * 1.0);
+}
+
+TEST(Kmeans, DeterministicForSameRngSeed)
+{
+    FeatureMatrix points = makeBlobs(20, 7);
+    Rng r1(3), r2(3);
+    KmeansResult a = kmeans(points, 4, r1);
+    KmeansResult b = kmeans(points, 4, r2);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.distortion, b.distortion);
+}
+
+TEST(Kmeans, KEqualsNGivesZeroDistortion)
+{
+    FeatureMatrix points{{0, 0}, {5, 5}, {9, 1}};
+    Rng rng(1);
+    KmeansResult r = kmeans(points, 3, rng);
+    EXPECT_NEAR(r.distortion, 0.0, 1e-12);
+}
+
+TEST(Kmeans, RejectsBadK)
+{
+    FeatureMatrix points{{0, 0}, {1, 1}};
+    Rng rng(1);
+    EXPECT_THROW(kmeans(points, 0, rng), FatalError);
+    EXPECT_THROW(kmeans(points, 3, rng), FatalError);
+    EXPECT_THROW(kmeans({}, 1, rng), FatalError);
+}
+
+TEST(Kmeans, HandlesIdenticalPoints)
+{
+    FeatureMatrix points(10, std::vector<double>{1.0, 2.0});
+    Rng rng(2);
+    KmeansResult r = kmeans(points, 2, rng);
+    EXPECT_NEAR(r.distortion, 0.0, 1e-12);
+}
+
+TEST(Bic, PrefersTrueK)
+{
+    FeatureMatrix points = makeBlobs(40, 11);
+    double bic1, bic3, bic7;
+    {
+        Rng rng(4);
+        bic1 = bicScore(points, kmeans(points, 1, rng));
+    }
+    {
+        Rng rng(4);
+        bic3 = bicScore(points, kmeans(points, 3, rng));
+    }
+    {
+        Rng rng(4);
+        bic7 = bicScore(points, kmeans(points, 7, rng));
+    }
+    EXPECT_GT(bic3, bic1);
+    // BIC's parameter penalty keeps k=7 from dominating k=3.
+    EXPECT_GT(bic3, bic7 - std::fabs(bic7) * 0.05);
+}
+
+TEST(SimpointCluster, ChoosesNearTrueK)
+{
+    FeatureMatrix points = makeBlobs(40, 13);
+    ClusteringResult r = simpointCluster(points, 20, 99);
+    EXPECT_GE(r.chosenK, 3u);
+    EXPECT_LE(r.chosenK, 6u);
+    EXPECT_EQ(r.best.assignment.size(), points.size());
+}
+
+TEST(SimpointCluster, ClampsKToPointCount)
+{
+    FeatureMatrix points{{0, 0}, {10, 10}};
+    ClusteringResult r = simpointCluster(points, 50, 1);
+    EXPECT_LE(r.chosenK, 2u);
+}
+
+TEST(SimpointCluster, ScansCoarselyAboveSixteen)
+{
+    FeatureMatrix points = makeBlobs(30, 17); // 90 points
+    ClusteringResult r = simpointCluster(points, 50, 21);
+    // k=1..16 all scanned, then steps; far fewer than 50 runs. The
+    // scan is capped at n/2 = 45 to avoid degenerate clusterings.
+    EXPECT_LT(r.bicByK.size(), 35u);
+    EXPECT_EQ(r.bicByK.front().first, 1u);
+    EXPECT_EQ(r.bicByK.back().first, 45u);
+}
+
+TEST(Representatives, ClosestToCentroid)
+{
+    FeatureMatrix points = makeBlobs(25, 19);
+    Rng rng(6);
+    KmeansResult km = kmeans(points, 3, rng);
+    auto reps = pickRepresentatives(points, km);
+    ASSERT_EQ(reps.size(), 3u);
+    for (uint32_t c = 0; c < 3; ++c) {
+        // The representative belongs to its own cluster.
+        EXPECT_EQ(km.assignment[reps[c]], c);
+    }
+}
+
+TEST(RandomProjector, DeterministicAndLinear)
+{
+    RandomProjector proj(16, 77);
+    std::vector<std::pair<uint64_t, double>> row{{5, 1.0}, {900, 2.0}};
+    auto a = proj.project(row);
+    auto b = proj.project(row);
+    EXPECT_EQ(a, b);
+
+    // Linearity: project(2x) == 2 * project(x).
+    std::vector<std::pair<uint64_t, double>> row2{{5, 2.0}, {900, 4.0}};
+    auto c = proj.project(row2);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(c[i], 2.0 * a[i], 1e-12);
+}
+
+TEST(RandomProjector, SeparatesDistinctRows)
+{
+    RandomProjector proj(32, 88);
+    auto a = proj.project({{1, 1.0}});
+    auto b = proj.project({{2, 1.0}});
+    double dist = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        dist += (a[i] - b[i]) * (a[i] - b[i]);
+    EXPECT_GT(dist, 1.0);
+}
+
+TEST(RandomProjector, DifferentSeedsDiffer)
+{
+    RandomProjector p1(8, 1), p2(8, 2);
+    auto a = p1.project({{42, 1.0}});
+    auto b = p2.project({{42, 1.0}});
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace looppoint

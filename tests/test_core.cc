@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the LoopPoint pipeline: multiplier/weight invariants,
+ * slice tiling, extrapolation math, cross-policy stability of the
+ * analysis, and end-to-end prediction accuracy on small workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hh"
+#include "core/looppoint.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workload/descriptor.hh"
+
+namespace looppoint {
+namespace {
+
+LoopPointOptions
+smallOpts(uint32_t threads = 4)
+{
+    LoopPointOptions o;
+    o.numThreads = threads;
+    o.sliceSizePerThread = 20'000;
+    return o;
+}
+
+TEST(LoopPoint, MultipliersAccountForAllWork)
+{
+    Program prog =
+        generateProgram(findApp("628.pop2_s.1"), InputClass::Test);
+    LoopPointPipeline pipe(prog, smallOpts());
+    LoopPointResult lp = pipe.analyze();
+
+    // Sum over regions of (multiplier x representative work) must
+    // equal the total filtered work (Eq. 2 rearranged).
+    double covered = 0.0;
+    for (const auto &r : lp.regions)
+        covered += r.multiplier *
+                   static_cast<double>(r.filteredIcount);
+    EXPECT_NEAR(covered, static_cast<double>(lp.totalFilteredIcount),
+                1.0);
+}
+
+TEST(LoopPoint, SlicesTileTheProgram)
+{
+    Program prog =
+        generateProgram(findApp("619.lbm_s.1"), InputClass::Test);
+    LoopPointPipeline pipe(prog, smallOpts());
+    LoopPointResult lp = pipe.analyze();
+    ASSERT_GE(lp.slices.size(), 2u);
+    for (size_t i = 0; i + 1 < lp.slices.size(); ++i)
+        EXPECT_EQ(lp.slices[i].end, lp.slices[i + 1].start);
+    EXPECT_TRUE(lp.slices.front().start.isProgramBoundary());
+    EXPECT_TRUE(lp.slices.back().end.isProgramBoundary());
+}
+
+TEST(LoopPoint, AnalysisDeterministic)
+{
+    Program prog =
+        generateProgram(findApp("654.roms_s.1"), InputClass::Test);
+    LoopPointPipeline pipe(prog, smallOpts());
+    LoopPointResult a = pipe.analyze();
+    LoopPointResult b = pipe.analyze();
+    EXPECT_EQ(a.chosenK, b.chosenK);
+    EXPECT_EQ(a.assignment, b.assignment);
+    ASSERT_EQ(a.regions.size(), b.regions.size());
+    for (size_t i = 0; i < a.regions.size(); ++i) {
+        EXPECT_EQ(a.regions[i].start, b.regions[i].start);
+        EXPECT_DOUBLE_EQ(a.regions[i].multiplier,
+                         b.regions[i].multiplier);
+    }
+}
+
+TEST(LoopPoint, MarkersStableAcrossWaitPolicy)
+{
+    // Analyzing under active vs passive must produce identical region
+    // boundaries and weights — the spin filter at work.
+    Program prog =
+        generateProgram(findApp("627.cam4_s.1"), InputClass::Test);
+    LoopPointOptions active = smallOpts();
+    active.waitPolicy = WaitPolicy::Active;
+    LoopPointOptions passive = smallOpts();
+    passive.waitPolicy = WaitPolicy::Passive;
+
+    LoopPointResult a = LoopPointPipeline(prog, active).analyze();
+    LoopPointResult p = LoopPointPipeline(prog, passive).analyze();
+
+    ASSERT_EQ(a.slices.size(), p.slices.size());
+    for (size_t i = 0; i < a.slices.size(); ++i)
+        EXPECT_EQ(a.slices[i].end, p.slices[i].end);
+    EXPECT_EQ(a.totalFilteredIcount, p.totalFilteredIcount);
+}
+
+TEST(LoopPoint, TheoreticalSpeedupsConsistent)
+{
+    Program prog =
+        generateProgram(findApp("649.fotonik3d_s.1"), InputClass::Test);
+    LoopPointPipeline pipe(prog, smallOpts());
+    LoopPointResult lp = pipe.analyze();
+    EXPECT_GE(lp.theoreticalParallelSpeedup(),
+              lp.theoreticalSerialSpeedup());
+    EXPECT_GE(lp.theoreticalSerialSpeedup(), 1.0);
+}
+
+TEST(LoopPoint, ExtrapolationMatchesHandComputation)
+{
+    LoopPointResult lp;
+    lp.regions.resize(2);
+    lp.regions[0].multiplier = 3.0;
+    lp.regions[1].multiplier = 1.5;
+    std::vector<SimMetrics> metrics(2);
+    metrics[0].runtimeSeconds = 0.010;
+    metrics[0].cycles = 100;
+    metrics[0].instructions = 1000;
+    metrics[0].branchMispredicts = 7;
+    metrics[1].runtimeSeconds = 0.020;
+    metrics[1].cycles = 300;
+    metrics[1].instructions = 2000;
+    metrics[1].branchMispredicts = 1;
+
+    MetricPrediction p = extrapolateMetrics(lp, metrics, SimConfig{});
+    EXPECT_NEAR(p.runtimeSeconds, 0.010 * 3.0 + 0.020 * 1.5, 1e-12);
+    EXPECT_NEAR(p.cycles, 100 * 3.0 + 300 * 1.5, 1e-9);
+    EXPECT_NEAR(p.instructions, 1000 * 3.0 + 2000 * 1.5, 1e-9);
+    EXPECT_NEAR(p.branchMispredicts, 7 * 3.0 + 1 * 1.5, 1e-9);
+}
+
+TEST(LoopPoint, ExtrapolationRejectsMismatchedSizes)
+{
+    LoopPointResult lp;
+    lp.regions.resize(2);
+    std::vector<SimMetrics> metrics(1);
+    EXPECT_THROW(extrapolateMetrics(lp, metrics, SimConfig{}),
+                 FatalError);
+}
+
+TEST(LoopPoint, RejectsBadOptions)
+{
+    Program prog = generateProgram(demoMatrixApp(), InputClass::Test);
+    LoopPointOptions o;
+    o.numThreads = 0;
+    EXPECT_THROW(LoopPointPipeline(prog, o), FatalError);
+    LoopPointOptions o2;
+    o2.sliceSizePerThread = 0;
+    EXPECT_THROW(LoopPointPipeline(prog, o2), FatalError);
+}
+
+TEST(Experiment, EndToEndAccuracyOnSmallApps)
+{
+    // Integration sanity check on tiny test-class inputs. Test-class
+    // runs are ~1-2M instructions, so the cold-start transient is a
+    // visible fraction and errors are noisier than the train-class
+    // results benchmarked in fig5_accuracy (~2% there); the bound here
+    // only guards against gross regressions.
+    for (const char *name : {"619.lbm_s.1", "654.roms_s.1"}) {
+        ExperimentConfig cfg;
+        cfg.app = name;
+        cfg.input = InputClass::Test;
+        cfg.requestedThreads = 4;
+        cfg.loopPoint.sliceSizePerThread = 25'000;
+        ExperimentResult r = runExperiment(cfg);
+        EXPECT_TRUE(r.haveFullSim);
+        EXPECT_LT(r.runtimeErrorPct, 15.0) << name;
+        EXPECT_GT(r.theoreticalParallelSpeedup, 1.5) << name;
+    }
+}
+
+TEST(Experiment, HonorsThreadOverride)
+{
+    ExperimentConfig cfg;
+    cfg.app = "657.xz_s.2";
+    cfg.input = InputClass::Test;
+    cfg.requestedThreads = 8;
+    cfg.loopPoint.sliceSizePerThread = 25'000;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.threads, 4u);
+}
+
+TEST(Experiment, SkipFullSimulation)
+{
+    ExperimentConfig cfg;
+    cfg.app = "demo-matrix";
+    cfg.input = InputClass::Test;
+    cfg.requestedThreads = 4;
+    cfg.simulateFull = false;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_FALSE(r.haveFullSim);
+    EXPECT_EQ(r.runtimeErrorPct, 0.0);
+    EXPECT_GT(r.theoreticalParallelSpeedup, 0.0);
+}
+
+TEST(Experiment, ConstrainedRegionsRun)
+{
+    ExperimentConfig cfg;
+    cfg.app = "619.lbm_s.1";
+    cfg.input = InputClass::Test;
+    cfg.requestedThreads = 4;
+    cfg.loopPoint.sliceSizePerThread = 25'000;
+    cfg.constrainedRegions = true;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_TRUE(r.haveFullSim);
+    EXPECT_GE(r.runtimeErrorPct, 0.0);
+}
+
+TEST(LoopPoint, FeatureMatrixRowsMatchSlices)
+{
+    Program prog =
+        generateProgram(findApp("619.lbm_s.1"), InputClass::Test);
+    LoopPointPipeline pipe(prog, smallOpts());
+    LoopPointResult lp = pipe.analyze();
+    FeatureMatrix f = buildFeatureMatrix(prog, lp.slices, 32, 7);
+    EXPECT_EQ(f.size(), lp.slices.size());
+    for (const auto &row : f)
+        EXPECT_EQ(row.size(), 32u);
+}
+
+} // namespace
+} // namespace looppoint

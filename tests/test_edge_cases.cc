@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Edge-case tests for the execution engine and OpenMP runtime model:
+ * degenerate thread/iteration ratios, tiny chunk counts,
+ * master/single/reduction execution counts, and wait-policy corner
+ * cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/driver.hh"
+#include "exec/engine.hh"
+#include "isa/program_builder.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+namespace {
+
+Program
+makeKernelProgram(SchedPolicy sched, uint64_t iters,
+                  uint64_t chunk = 4, bool master = false,
+                  bool reduction = false)
+{
+    ProgramBuilder b("edge", 73);
+    uint32_t k = b.beginKernel("k", sched, iters, chunk);
+    if (master)
+        b.setMasterPrologue({.numInstrs = 10, .streams = {}}, false);
+    b.addBlock({.numInstrs = 20, .fracMem = 0.2, .streams = {}});
+    if (reduction)
+        b.setReduction({.numInstrs = 8, .streams = {}});
+    b.endKernel();
+    b.runKernels({k}, 2);
+    return b.build();
+}
+
+TEST(EdgeCases, MoreThreadsThanIterations)
+{
+    // 3 iterations, 8 threads: five threads get empty static ranges
+    // but still hit the barrier; the program completes with exactly
+    // the right amount of work.
+    Program p = makeKernelProgram(SchedPolicy::StaticFor, 3);
+    for (auto policy : {WaitPolicy::Passive, WaitPolicy::Active}) {
+        ExecConfig cfg{.numThreads = 8, .waitPolicy = policy};
+        ExecutionEngine e(p, cfg);
+        RoundRobinDriver d(e, 100);
+        d.run();
+        EXPECT_TRUE(e.allFinished());
+        EXPECT_EQ(e.blockExecCount(p.kernels[0].workerHeader), 3u * 2u);
+    }
+}
+
+TEST(EdgeCases, SingleIterationDynamic)
+{
+    Program p = makeKernelProgram(SchedPolicy::DynamicFor, 1, 64);
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 100);
+    d.run();
+    EXPECT_EQ(e.blockExecCount(p.kernels[0].workerHeader), 1u * 2u);
+}
+
+TEST(EdgeCases, ChunkLargerThanIterations)
+{
+    // One thread grabs everything in a single chunk; the rest probe
+    // the empty counter and head to the barrier.
+    Program p = makeKernelProgram(SchedPolicy::DynamicFor, 10, 1000);
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 100);
+    d.run();
+    EXPECT_EQ(e.blockExecCount(p.kernels[0].workerHeader), 10u * 2u);
+    // Every thread executes at least one chunk-fetch probe per
+    // kernel instance.
+    EXPECT_GE(e.blockExecCount(p.runtime.chunkFetch), 4u * 2u);
+}
+
+TEST(EdgeCases, MasterPrologueRunsOncePerInstanceOnThreadZero)
+{
+    Program p = makeKernelProgram(SchedPolicy::StaticFor, 16, 4, true);
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 100);
+    d.run();
+    EXPECT_EQ(e.blockExecCount(p.kernels[0].masterPrologue), 2u);
+}
+
+TEST(EdgeCases, ReductionTailRunsOncePerThreadPerInstance)
+{
+    Program p = makeKernelProgram(SchedPolicy::StaticFor, 16, 4, false,
+                                  true);
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 100);
+    d.run();
+    EXPECT_EQ(e.blockExecCount(p.kernels[0].reductionTail), 4u * 2u);
+    EXPECT_EQ(e.blockExecCount(p.runtime.atomicStub), 4u * 2u);
+}
+
+TEST(EdgeCases, SoloThreadNeverWaits)
+{
+    Program p = makeKernelProgram(SchedPolicy::StaticFor, 8);
+    for (auto policy : {WaitPolicy::Passive, WaitPolicy::Active}) {
+        ExecConfig cfg{.numThreads = 1, .waitPolicy = policy};
+        ExecutionEngine e(p, cfg);
+        RoundRobinDriver d(e, 100);
+        d.run();
+        EXPECT_EQ(e.blockExecCount(p.runtime.spinWait), 0u);
+        EXPECT_EQ(e.blockExecCount(p.runtime.futexWait), 0u);
+    }
+}
+
+TEST(EdgeCases, FutexOncePerWaitEpisode)
+{
+    // Passive waiters issue one futex call per wait episode, not one
+    // per scheduling quantum.
+    Program p = makeKernelProgram(SchedPolicy::StaticFor, 4);
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 10); // tiny quanta: many reschedules
+    d.run();
+    // At most (threads - 1) waiters per barrier x 2 instances, plus
+    // kernel-entry waits; never more than a small multiple.
+    EXPECT_LE(e.blockExecCount(p.runtime.futexWait), 4u * 2u * 2u);
+    EXPECT_GT(e.blockExecCount(p.runtime.futexWait), 0u);
+}
+
+TEST(EdgeCases, BarrierCountsExact)
+{
+    Program p = makeKernelProgram(SchedPolicy::StaticFor, 8);
+    ExecConfig cfg{.numThreads = 6, .waitPolicy = WaitPolicy::Active};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 50);
+    d.run();
+    // Every thread enters and exits each instance's barrier once.
+    EXPECT_EQ(e.blockExecCount(p.runtime.barrierEnter), 6u * 2u);
+    EXPECT_EQ(e.blockExecCount(p.runtime.barrierExit), 6u * 2u);
+}
+
+TEST(EdgeCases, ZeroThreadsRejected)
+{
+    Program p = makeKernelProgram(SchedPolicy::StaticFor, 4);
+    ExecConfig cfg{.numThreads = 0};
+    EXPECT_THROW(ExecutionEngine(p, cfg), FatalError);
+}
+
+TEST(EdgeCases, StepAfterFinishReportsFinished)
+{
+    Program p = makeKernelProgram(SchedPolicy::StaticFor, 2);
+    ExecConfig cfg{.numThreads = 1};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 100);
+    d.run();
+    StepResult r = e.step(0);
+    EXPECT_EQ(r.kind, StepResult::Kind::Finished);
+    r = e.step(0);
+    EXPECT_EQ(r.kind, StepResult::Kind::Finished);
+}
+
+TEST(EdgeCases, ManyThreadsHeavyContention)
+{
+    // 16 threads hammering one lock still completes and preserves
+    // critical-section exclusivity counts.
+    ProgramBuilder b("contend", 79);
+    uint32_t k = b.beginKernel("k", SchedPolicy::DynamicFor, 64, 1);
+    b.addCritical(0, {.numInstrs = 8, .streams = {}});
+    b.endKernel();
+    b.runKernels({k}, 1);
+    Program p = b.build();
+
+    ExecConfig cfg{.numThreads = 16, .waitPolicy = WaitPolicy::Active};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 20);
+    d.run();
+    const auto &item = p.kernels[0].body.front();
+    EXPECT_EQ(e.blockExecCount(item.blocks[1]), 64u);
+}
+
+} // namespace
+} // namespace looppoint

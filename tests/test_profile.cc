@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the slice profiler: slice sizing, (PC, count) boundary
+ * semantics, spin filtering, per-thread BBV collection, and the
+ * stability of boundaries across wait policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dcfg/dcfg.hh"
+#include "exec/driver.hh"
+#include "exec/engine.hh"
+#include "isa/program_builder.hh"
+#include "profile/slicer.hh"
+#include "util/logging.hh"
+#include "workload/descriptor.hh"
+
+namespace looppoint {
+namespace {
+
+Program
+makeProgram(uint64_t iters, uint64_t timesteps, double imbalance = 0.0)
+{
+    ProgramBuilder b("prof-test", 31);
+    uint32_t k = b.beginKernel("work", SchedPolicy::StaticFor, iters);
+    if (imbalance > 0)
+        b.setImbalance(imbalance);
+    b.addStream({.footprintBytes = 1 << 16, .strideBytes = 8});
+    b.addBlock({.numInstrs = 30, .fracMem = 0.3, .streams = {0}});
+    b.endKernel();
+    b.runKernels({k}, timesteps);
+    return b.build();
+}
+
+std::vector<BlockId>
+markersOf(const Program &p, uint32_t threads, WaitPolicy policy)
+{
+    ExecConfig cfg{.numThreads = threads, .waitPolicy = policy};
+    ExecutionEngine e(p, cfg);
+    DcfgBuilder builder(p, threads);
+    RoundRobinDriver d(e, 200);
+    d.run(&builder);
+    return builder.build().mainImageLoopHeaders();
+}
+
+std::vector<SliceRecord>
+profileSlices(const Program &p, uint32_t threads, WaitPolicy policy,
+              uint64_t slice_size, bool filter = true)
+{
+    auto markers = markersOf(p, threads, policy);
+    ExecConfig cfg{.numThreads = threads, .waitPolicy = policy};
+    ExecutionEngine e(p, cfg);
+    SliceProfiler profiler(p, markers, slice_size, threads, filter);
+    RoundRobinDriver d(e, 200);
+    d.run(&profiler);
+    profiler.finalize();
+    return profiler.slices();
+}
+
+TEST(SliceProfiler, SlicesCoverWholeExecution)
+{
+    Program p = makeProgram(200, 4);
+    auto slices = profileSlices(p, 4, WaitPolicy::Passive, 5'000);
+    ASSERT_GT(slices.size(), 1u);
+
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 200);
+    d.run();
+
+    uint64_t filtered_sum = 0, total_sum = 0;
+    for (const auto &s : slices) {
+        filtered_sum += s.filteredIcount;
+        total_sum += s.totalIcount;
+    }
+    EXPECT_EQ(filtered_sum, e.globalFilteredIcount());
+    EXPECT_EQ(total_sum, e.globalIcount());
+}
+
+TEST(SliceProfiler, SliceSizesNearTarget)
+{
+    Program p = makeProgram(400, 6);
+    const uint64_t target = 40'000;
+    auto slices = profileSlices(p, 4, WaitPolicy::Passive, target);
+    ASSERT_GE(slices.size(), 3u);
+    // All but the last slice must be >= target and not wildly larger
+    // (the overshoot is bounded by the distance to the next marker).
+    for (size_t i = 0; i + 1 < slices.size(); ++i) {
+        EXPECT_GE(slices[i].filteredIcount, target);
+        EXPECT_LT(slices[i].filteredIcount, target * 3);
+    }
+}
+
+TEST(SliceProfiler, BoundariesAreMainImageMarkers)
+{
+    Program p = makeProgram(300, 5);
+    auto slices = profileSlices(p, 4, WaitPolicy::Passive, 30'000);
+    auto pc_index = buildPcIndex(p);
+    for (size_t i = 0; i + 1 < slices.size(); ++i) {
+        const Marker &m = slices[i].end;
+        EXPECT_FALSE(m.isProgramBoundary());
+        ASSERT_TRUE(pc_index.count(m.pc));
+        EXPECT_TRUE(p.inMainImage(pc_index[m.pc]));
+        EXPECT_GE(m.count, 1u);
+        // Consecutive slices share the boundary marker.
+        EXPECT_EQ(slices[i].end, slices[i + 1].start);
+    }
+    EXPECT_TRUE(slices.front().start.isProgramBoundary());
+    EXPECT_TRUE(slices.back().end.isProgramBoundary());
+}
+
+TEST(SliceProfiler, FilteredCountsExcludeSpin)
+{
+    Program p = makeProgram(400, 3, /*imbalance=*/1.5);
+    auto active = profileSlices(p, 4, WaitPolicy::Active, 30'000);
+    auto passive = profileSlices(p, 4, WaitPolicy::Passive, 30'000);
+
+    uint64_t active_filtered = 0, active_total = 0;
+    for (const auto &s : active) {
+        active_filtered += s.filteredIcount;
+        active_total += s.totalIcount;
+    }
+    uint64_t passive_filtered = 0;
+    for (const auto &s : passive)
+        passive_filtered += s.filteredIcount;
+
+    // Spin inflates total but not filtered counts; filtered work is
+    // identical across policies.
+    EXPECT_GT(active_total, active_filtered * 3 / 2);
+    EXPECT_EQ(active_filtered, passive_filtered);
+}
+
+TEST(SliceProfiler, BoundaryMarkersStableAcrossPolicies)
+{
+    // The core LoopPoint claim: (PC, count) boundaries computed under
+    // one policy identify the same points under the other.
+    Program p = makeProgram(500, 4, /*imbalance=*/1.0);
+    auto active = profileSlices(p, 4, WaitPolicy::Active, 40'000);
+    auto passive = profileSlices(p, 4, WaitPolicy::Passive, 40'000);
+    ASSERT_EQ(active.size(), passive.size());
+    for (size_t i = 0; i < active.size(); ++i) {
+        EXPECT_EQ(active[i].end, passive[i].end) << "slice " << i;
+        EXPECT_EQ(active[i].filteredIcount, passive[i].filteredIcount);
+    }
+}
+
+TEST(SliceProfiler, PerThreadBbvsReflectImbalance)
+{
+    Program p = makeProgram(600, 2, /*imbalance=*/1.5);
+    auto slices = profileSlices(p, 4, WaitPolicy::Passive, 1'000'000);
+    ASSERT_GE(slices.size(), 1u);
+    const auto &s = slices[0];
+    EXPECT_GT(s.threadFilteredIcount[0], s.threadFilteredIcount[3]);
+}
+
+TEST(SliceProfiler, UnfilteredModeCountsLibraryCode)
+{
+    Program p = makeProgram(300, 2, /*imbalance=*/1.0);
+    auto filtered =
+        profileSlices(p, 4, WaitPolicy::Active, 50'000, true);
+    auto unfiltered =
+        profileSlices(p, 4, WaitPolicy::Active, 50'000, false);
+    uint64_t f = 0, u = 0;
+    for (const auto &s : filtered)
+        f += s.filteredIcount;
+    for (const auto &s : unfiltered)
+        u += s.filteredIcount; // "filtered" field counts all code now
+    EXPECT_GT(u, f);
+}
+
+TEST(SliceProfiler, RejectsLibraryMarkers)
+{
+    Program p = makeProgram(100, 1);
+    EXPECT_THROW(SliceProfiler(p, {p.runtime.spinWait}, 1000, 4),
+                 FatalError);
+}
+
+TEST(SliceProfiler, RejectsZeroSliceSize)
+{
+    Program p = makeProgram(100, 1);
+    EXPECT_THROW(SliceProfiler(p, {p.kernels[0].workerHeader}, 0, 4),
+                 FatalError);
+}
+
+TEST(SliceProfiler, MarkerCountsMatchEngineCounts)
+{
+    Program p = makeProgram(150, 3);
+    auto markers = markersOf(p, 2, WaitPolicy::Passive);
+    ExecConfig cfg{.numThreads = 2, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    SliceProfiler profiler(p, markers, 25'000, 2);
+    RoundRobinDriver d(e, 200);
+    d.run(&profiler);
+    profiler.finalize();
+    for (BlockId m : markers)
+        EXPECT_EQ(profiler.markerCount(m), e.blockExecCount(m));
+}
+
+TEST(PcIndex, MapsEveryBlock)
+{
+    Program p = makeProgram(10, 1);
+    auto index = buildPcIndex(p);
+    EXPECT_EQ(index.size(), p.numBlocks());
+    for (const auto &bb : p.blocks)
+        EXPECT_EQ(index.at(bb.pc), bb.id);
+}
+
+} // namespace
+} // namespace looppoint

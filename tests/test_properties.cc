@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps over thread counts, wait
+ * policies, and scheduling policies asserting the invariants the
+ * LoopPoint methodology rests on:
+ *
+ *  P1  work conservation: main-image (filtered) instructions are
+ *      independent of threads, policy, and scheduler;
+ *  P2  marker invariance: the global execution count of every
+ *      main-image loop header is schedule-invariant;
+ *  P3  replay fidelity: pinball replay reproduces per-thread filtered
+ *      block streams under any flow-control quantum;
+ *  P4  slice tiling: slices partition the execution exactly and
+ *      boundaries are shared;
+ *  P5  multiplier closure: Eq. 2 weights cover the total work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/looppoint.hh"
+#include "dcfg/dcfg.hh"
+#include "exec/driver.hh"
+#include "isa/program_builder.hh"
+#include "pinball/pinball.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+namespace {
+
+/** (threads, wait policy, dynamic scheduling, imbalance) */
+using Param = std::tuple<uint32_t, WaitPolicy, bool, double>;
+
+class ExecInvariants : public ::testing::TestWithParam<Param>
+{
+  protected:
+    Program
+    makeProgram() const
+    {
+        auto [threads, policy, dynamic, imbalance] = GetParam();
+        (void)threads;
+        (void)policy;
+        ProgramBuilder b("prop", 57);
+        uint32_t k = b.beginKernel(
+            "work",
+            dynamic ? SchedPolicy::DynamicFor : SchedPolicy::StaticFor,
+            240, 6);
+        if (imbalance > 0)
+            b.setImbalance(imbalance);
+        b.addStream({.footprintBytes = 1 << 18, .strideBytes = 8});
+        b.addBlock(
+            {.numInstrs = 28, .fracMem = 0.3, .streams = {0}});
+        b.addCond({.numInstrs = 6, .streams = {}},
+                  {.numInstrs = 16, .streams = {0}},
+                  {.numInstrs = 10, .streams = {0}},
+                  {.numInstrs = 4, .streams = {}}, 0.4);
+        b.addCritical(0, {.numInstrs = 10, .streams = {0}});
+        b.endKernel();
+        b.runKernels({k}, 3);
+        return b.build();
+    }
+
+    ExecConfig
+    makeConfig() const
+    {
+        auto [threads, policy, dynamic, imbalance] = GetParam();
+        (void)dynamic;
+        (void)imbalance;
+        ExecConfig cfg;
+        cfg.numThreads = threads;
+        cfg.waitPolicy = policy;
+        return cfg;
+    }
+};
+
+TEST_P(ExecInvariants, P1_FilteredWorkConserved)
+{
+    Program p = makeProgram();
+    ExecConfig cfg = makeConfig();
+
+    // Reference: single-threaded passive run.
+    ExecConfig ref_cfg;
+    ref_cfg.numThreads = 1;
+    ExecutionEngine ref(p, ref_cfg);
+    RoundRobinDriver(ref, 500).run();
+
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver(e, 313).run();
+    EXPECT_EQ(e.globalFilteredIcount(), ref.globalFilteredIcount());
+}
+
+TEST_P(ExecInvariants, P2_MarkerCountsScheduleInvariant)
+{
+    Program p = makeProgram();
+    ExecConfig cfg = makeConfig();
+    const BlockId wh = p.kernels[0].workerHeader;
+
+    ExecutionEngine e1(p, cfg);
+    RoundRobinDriver(e1, 100).run();
+    ExecutionEngine e2(p, cfg);
+    RoundRobinDriver(e2, 1700).run();
+    EXPECT_EQ(e1.blockExecCount(wh), e2.blockExecCount(wh));
+    EXPECT_EQ(e1.blockExecCount(wh), 240u * 3u);
+}
+
+TEST_P(ExecInvariants, P3_ReplayReproducesFilteredStreams)
+{
+    Program p = makeProgram();
+    ExecConfig cfg = makeConfig();
+
+    class Collector : public ExecListener
+    {
+      public:
+        explicit Collector(uint32_t n) : streams(n) {}
+        void
+        onBlock(uint32_t tid, BlockId block,
+                const ExecutionEngine &engine) override
+        {
+            if (engine.program().inMainImage(block))
+                streams[tid].push_back(block);
+        }
+        std::vector<std::vector<BlockId>> streams;
+    };
+
+    Collector rec(cfg.numThreads), rep(cfg.numThreads);
+    Pinball pb = recordPinball(p, cfg, 800, &rec);
+    replayPinball(p, pb, 129, &rep);
+    EXPECT_EQ(rec.streams, rep.streams);
+}
+
+TEST_P(ExecInvariants, P4_SlicesPartitionExecution)
+{
+    Program p = makeProgram();
+    ExecConfig cfg = makeConfig();
+
+    LoopPointOptions opts;
+    opts.numThreads = cfg.numThreads;
+    opts.waitPolicy = cfg.waitPolicy;
+    opts.sliceSizePerThread = 8'000;
+    LoopPointPipeline pipe(p, opts);
+    LoopPointResult lp = pipe.analyze();
+
+    uint64_t filtered = 0;
+    for (size_t i = 0; i < lp.slices.size(); ++i) {
+        filtered += lp.slices[i].filteredIcount;
+        if (i + 1 < lp.slices.size()) {
+            EXPECT_EQ(lp.slices[i].end, lp.slices[i + 1].start);
+        }
+    }
+    EXPECT_EQ(filtered, lp.totalFilteredIcount);
+
+    // Same seed as the pipeline so the data-dependent control flow
+    // (iteration-tied draws) matches.
+    cfg.seed = opts.seed;
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver(e, 500).run();
+    EXPECT_EQ(filtered, e.globalFilteredIcount());
+}
+
+TEST_P(ExecInvariants, P5_MultipliersCoverTotalWork)
+{
+    Program p = makeProgram();
+    ExecConfig cfg = makeConfig();
+
+    LoopPointOptions opts;
+    opts.numThreads = cfg.numThreads;
+    opts.waitPolicy = cfg.waitPolicy;
+    opts.sliceSizePerThread = 8'000;
+    LoopPointPipeline pipe(p, opts);
+    LoopPointResult lp = pipe.analyze();
+
+    double covered = 0.0;
+    for (const auto &r : lp.regions)
+        covered += r.multiplier * static_cast<double>(r.filteredIcount);
+    EXPECT_NEAR(covered, static_cast<double>(lp.totalFilteredIcount),
+                1.0);
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    uint32_t threads = std::get<0>(info.param);
+    WaitPolicy policy = std::get<1>(info.param);
+    bool dynamic = std::get<2>(info.param);
+    double imbalance = std::get<3>(info.param);
+    return strFormat("t%u_%s_%s_%s", threads,
+                     policy == WaitPolicy::Active ? "active"
+                                                  : "passive",
+                     dynamic ? "dyn" : "stat",
+                     imbalance > 0 ? "skew" : "flat");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecInvariants,
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 4u, 8u),
+        ::testing::Values(WaitPolicy::Passive, WaitPolicy::Active),
+        ::testing::Bool(),
+        ::testing::Values(0.0, 1.0)),
+    paramName);
+
+/** Marker invariance across thread counts (global counts). */
+class MarkerAcrossThreads : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(MarkerAcrossThreads, WorkerHeaderCountFixed)
+{
+    ProgramBuilder b("prop2", 61);
+    uint32_t k = b.beginKernel("work", SchedPolicy::DynamicFor, 300, 4);
+    b.addBlock({.numInstrs = 25, .fracMem = 0.2, .streams = {}});
+    b.endKernel();
+    b.runKernels({k}, 2);
+    Program p = b.build();
+
+    ExecConfig cfg;
+    cfg.numThreads = GetParam();
+    cfg.waitPolicy = WaitPolicy::Active;
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver(e, 250).run();
+    EXPECT_EQ(e.blockExecCount(p.kernels[0].workerHeader), 600u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MarkerAcrossThreads,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u,
+                                           16u));
+
+} // namespace
+} // namespace looppoint

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for shareable region pinballs: export, serialization round
+ * trips, checkpoint restoration at the (PC, count) boundary, and
+ * simulation equivalence between a freshly-analyzed region and one
+ * reloaded from its pinball.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/region_checkpoint.hh"
+#include "exec/driver.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+namespace {
+
+struct Analyzed
+{
+    const AppDescriptor *app;
+    LoopPointOptions opts;
+    Program prog;
+    LoopPointResult lp;
+};
+
+Analyzed
+analyzeSmall(const char *name = "628.pop2_s.1")
+{
+    const AppDescriptor &app = findApp(name);
+    LoopPointOptions opts;
+    opts.numThreads = app.effectiveThreads(4);
+    opts.sliceSizePerThread = 25'000;
+    Program prog = generateProgram(app, InputClass::Test);
+    LoopPointPipeline pipe(prog, opts);
+    LoopPointResult lp = pipe.analyze();
+    return {&app, opts, std::move(prog), std::move(lp)};
+}
+
+TEST(RegionPinball, ExportOnePerRegion)
+{
+    Analyzed a = analyzeSmall();
+    auto pinballs = exportRegionPinballs(*a.app, InputClass::Test,
+                                         a.opts, a.lp);
+    ASSERT_EQ(pinballs.size(), a.lp.regions.size());
+    for (size_t i = 0; i < pinballs.size(); ++i) {
+        EXPECT_EQ(pinballs[i].start, a.lp.regions[i].start);
+        EXPECT_EQ(pinballs[i].end, a.lp.regions[i].end);
+        EXPECT_DOUBLE_EQ(pinballs[i].multiplier,
+                         a.lp.regions[i].multiplier);
+        EXPECT_EQ(pinballs[i].app, a.app->name);
+    }
+}
+
+TEST(RegionPinball, SaveLoadRoundTrip)
+{
+    Analyzed a = analyzeSmall();
+    auto pinballs = exportRegionPinballs(*a.app, InputClass::Test,
+                                         a.opts, a.lp);
+    ASSERT_FALSE(pinballs.empty());
+    std::stringstream ss;
+    pinballs.front().save(ss);
+    RegionPinball loaded = RegionPinball::load(ss);
+    EXPECT_EQ(pinballs.front(), loaded);
+}
+
+TEST(RegionPinball, LoadRejectsJunk)
+{
+    std::stringstream ss("definitely not a pinball");
+    EXPECT_THROW(RegionPinball::load(ss), FatalError);
+}
+
+TEST(RegionPinball, RestoredCheckpointSitsAtBoundary)
+{
+    Analyzed a = analyzeSmall();
+    auto pinballs = exportRegionPinballs(*a.app, InputClass::Test,
+                                         a.opts, a.lp);
+    // Pick a region that does not start at the program boundary.
+    const RegionPinball *mid = nullptr;
+    for (const auto &rp : pinballs)
+        if (rp.start.pc != 0)
+            mid = &rp;
+    ASSERT_NE(mid, nullptr) << "need a mid-program region";
+
+    RestoredCheckpoint rc = restoreCheckpoint(*mid);
+    auto pc_index = buildPcIndex(*rc.program);
+    BlockId start_block = pc_index.at(mid->start.pc);
+    EXPECT_EQ(rc.checkpoint.engine.blockExecCount(start_block),
+              mid->start.count);
+    EXPECT_GT(rc.checkpoint.globalIcount, 0u);
+
+    // The restored engine can run to completion.
+    RoundRobinDriver driver(rc.checkpoint.engine, 500);
+    driver.run();
+    EXPECT_TRUE(rc.checkpoint.engine.allFinished());
+}
+
+TEST(RegionPinball, SimulationMatchesDirectRegionSimulation)
+{
+    Analyzed a = analyzeSmall();
+    LoopPointPipeline pipe(a.prog, a.opts);
+    auto pinballs = exportRegionPinballs(*a.app, InputClass::Test,
+                                         a.opts, a.lp);
+    SimConfig sim_cfg;
+    for (size_t i = 0; i < std::min<size_t>(2, pinballs.size()); ++i) {
+        SimMetrics direct =
+            pipe.simulateRegion(a.lp, a.lp.regions[i], sim_cfg);
+        SimMetrics from_pinball =
+            simulateRegionPinball(pinballs[i], sim_cfg);
+        EXPECT_EQ(direct.instructions, from_pinball.instructions);
+        EXPECT_EQ(direct.cycles, from_pinball.cycles);
+        EXPECT_EQ(direct.l2Misses, from_pinball.l2Misses);
+    }
+}
+
+class MainCollector : public ExecListener
+{
+  public:
+    explicit MainCollector(uint32_t n) : streams(n) {}
+    void
+    onBlock(uint32_t tid, BlockId block,
+            const ExecutionEngine &engine) override
+    {
+        if (engine.program().inMainImage(block))
+            streams[tid].push_back(block);
+    }
+    std::vector<std::vector<BlockId>> streams;
+};
+
+TEST(Elfie, SaveLoadResumesIdentically)
+{
+    // An ELFie restores in O(state) and must behave exactly like the
+    // replay-restored checkpoint it was taken from.
+    Analyzed a = analyzeSmall();
+    auto pinballs = exportRegionPinballs(*a.app, InputClass::Test,
+                                         a.opts, a.lp);
+    const RegionPinball *mid = nullptr;
+    for (const auto &rp : pinballs)
+        if (rp.start.pc != 0)
+            mid = &rp;
+    ASSERT_NE(mid, nullptr);
+
+    std::stringstream ss;
+    saveElfie(ss, *mid);
+    RestoredElfie elfie = loadElfie(ss);
+    RestoredCheckpoint direct = restoreCheckpoint(*mid);
+
+    EXPECT_EQ(elfie.engine.globalIcount(),
+              direct.checkpoint.engine.globalIcount());
+    EXPECT_EQ(elfie.end, mid->end);
+    EXPECT_DOUBLE_EQ(elfie.multiplier, mid->multiplier);
+
+    // Resume both to completion; the filtered streams must match.
+    uint32_t threads = elfie.engine.numThreads();
+    MainCollector c1(threads), c2(threads);
+    RoundRobinDriver d1(elfie.engine, 300);
+    d1.run(&c1);
+    RoundRobinDriver d2(direct.checkpoint.engine, 300);
+    d2.run(&c2);
+    EXPECT_EQ(c1.streams, c2.streams);
+    EXPECT_EQ(elfie.engine.globalIcount(),
+              direct.checkpoint.engine.globalIcount());
+}
+
+TEST(Elfie, LoadRejectsJunk)
+{
+    std::stringstream ss("not an elfie");
+    EXPECT_THROW(loadElfie(ss), FatalError);
+}
+
+TEST(EngineState, RoundTripMidExecution)
+{
+    // Engine save/load at an arbitrary mid-execution point, including
+    // a deep body-walk stack.
+    Analyzed a = analyzeSmall("644.nab_s.1");
+    ExecConfig cfg;
+    cfg.numThreads = a.opts.numThreads;
+    cfg.waitPolicy = a.opts.waitPolicy;
+    cfg.seed = a.opts.seed;
+    ExecutionEngine eng(a.prog, cfg);
+    RoundRobinDriver d(eng, 700);
+    d.run(nullptr, [&] { return eng.globalIcount() > 123'456; });
+
+    std::stringstream ss;
+    eng.save(ss);
+    ExecutionEngine loaded = ExecutionEngine::load(ss, a.prog);
+    EXPECT_EQ(loaded.globalIcount(), eng.globalIcount());
+    EXPECT_EQ(loaded.globalFilteredIcount(),
+              eng.globalFilteredIcount());
+
+    // Both continue identically.
+    MainCollector c1(cfg.numThreads), c2(cfg.numThreads);
+    RoundRobinDriver d1(eng, 700);
+    d1.run(&c1);
+    RoundRobinDriver d2(loaded, 700);
+    d2.run(&c2);
+    EXPECT_EQ(c1.streams, c2.streams);
+}
+
+TEST(EngineState, LoadRejectsWrongProgram)
+{
+    Analyzed a = analyzeSmall();
+    ExecConfig cfg;
+    cfg.numThreads = 2;
+    ExecutionEngine eng(a.prog, cfg);
+    std::stringstream ss;
+    eng.save(ss);
+
+    Program other =
+        generateProgram(findApp("619.lbm_s.1"), InputClass::Test);
+    EXPECT_THROW(ExecutionEngine::load(ss, other), FatalError);
+}
+
+TEST(RegionPinball, RestoreRejectsUnknownApp)
+{
+    RegionPinball rp;
+    rp.app = "no-such-app";
+    EXPECT_THROW(restoreCheckpoint(rp), FatalError);
+}
+
+} // namespace
+} // namespace looppoint

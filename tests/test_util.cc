@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for src/util: rng determinism and distributions, stats
+ * helpers, logging error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace looppoint {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent)
+{
+    Rng base(7);
+    Rng f1 = base.fork("alpha");
+    Rng f2 = base.fork("alpha");
+    Rng f3 = base.fork("beta");
+    EXPECT_EQ(f1.next(), f2.next());
+    Rng f4 = base.fork("alpha");
+    EXPECT_NE(f4.next(), f3.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng r(5);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++hits[r.nextBounded(8)];
+    for (int h : hits)
+        EXPECT_GT(h, 700); // each bucket near 1000
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(13);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(17);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.nextGaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng r(19);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.nextBool(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(HashString, StableAndDistinct)
+{
+    EXPECT_EQ(hashString("abc"), hashString("abc"));
+    EXPECT_NE(hashString("abc"), hashString("abd"));
+    EXPECT_NE(hashString(""), hashString("a"));
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(stddev(xs), 1.1180339887, 1e-9);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, GeoMean)
+{
+    EXPECT_NEAR(geoMean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+}
+
+TEST(Stats, Percentile)
+{
+    std::vector<double> xs{10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Stats, RelError)
+{
+    EXPECT_DOUBLE_EQ(relErrorPct(110, 100), 10.0);
+    EXPECT_DOUBLE_EQ(relErrorPct(90, 100), -10.0);
+    EXPECT_DOUBLE_EQ(absRelErrorPct(90, 100), 10.0);
+    EXPECT_DOUBLE_EQ(relErrorPct(0, 0), 0.0);
+}
+
+TEST(Stats, RunningStats)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_NEAR(s.stddev(), 1.632993, 1e-5);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("bad config %d", 7), FatalError);
+    try {
+        fatal("value was %d", 42);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value was 42");
+    }
+}
+
+TEST(Logging, StrFormat)
+{
+    EXPECT_EQ(strFormat("%s-%04d", "x", 7), "x-0007");
+}
+
+} // namespace
+} // namespace looppoint

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the workload suites: every app generates a valid program,
+ * work scales with input class, Table III flags match the generated
+ * structure, and the special-case apps (xz) have their documented
+ * shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/driver.hh"
+#include "exec/engine.hh"
+#include "util/logging.hh"
+#include "workload/descriptor.hh"
+
+namespace looppoint {
+namespace {
+
+TEST(Workload, SuiteSizesMatchPaper)
+{
+    EXPECT_EQ(spec2017Apps().size(), 14u); // Fig. 5 x-axis
+    EXPECT_EQ(npbApps().size(), 9u);       // NPB minus dc
+}
+
+TEST(Workload, AllAppsGenerateValidPrograms)
+{
+    for (const auto &app : spec2017Apps()) {
+        Program p = generateProgram(app, InputClass::Train);
+        p.validate();
+        EXPECT_FALSE(p.kernels.empty()) << app.name;
+    }
+    for (const auto &app : npbApps()) {
+        Program p = generateProgram(app, InputClass::NpbC);
+        p.validate();
+    }
+    generateProgram(demoMatrixApp(), InputClass::Test).validate();
+}
+
+TEST(Workload, TrainWorkInReasonableRange)
+{
+    for (const auto &app : spec2017Apps()) {
+        Program p = generateProgram(app, InputClass::Train);
+        uint64_t work = p.estimateWorkInstrs(8);
+        EXPECT_GT(work, 2'000'000u) << app.name;
+        EXPECT_LT(work, 120'000'000u) << app.name;
+    }
+}
+
+TEST(Workload, NpbClassCWorkInReasonableRange)
+{
+    for (const auto &app : npbApps()) {
+        Program p = generateProgram(app, InputClass::NpbC);
+        uint64_t work = p.estimateWorkInstrs(8);
+        EXPECT_GT(work, 2'000'000u) << app.name;
+        EXPECT_LT(work, 120'000'000u) << app.name;
+    }
+}
+
+TEST(Workload, InputClassesScaleWork)
+{
+    const auto &app = findApp("603.bwaves_s.1");
+    uint64_t test_w =
+        generateProgram(app, InputClass::Test).estimateWorkInstrs(8);
+    uint64_t train_w =
+        generateProgram(app, InputClass::Train).estimateWorkInstrs(8);
+    uint64_t ref_w =
+        generateProgram(app, InputClass::Ref).estimateWorkInstrs(8);
+    EXPECT_LT(test_w, train_w);
+    EXPECT_LT(train_w * 20, ref_w); // ref is a much larger run
+}
+
+TEST(Workload, DeclaredSyncMatchesGeneratedStructure)
+{
+    for (const auto &app : spec2017Apps()) {
+        Program p = generateProgram(app, InputClass::Test);
+        SyncUse declared = app.declaredSync();
+        SyncUse built;
+        for (const auto &k : p.kernels) {
+            built.staticFor |= k.sync.staticFor;
+            built.dynamicFor |= k.sync.dynamicFor;
+            built.barrier |= k.sync.barrier;
+            built.atomic |= k.sync.atomic;
+            built.lock |= k.sync.lock;
+            built.reduction |= k.sync.reduction;
+            built.master |= k.sync.master;
+            built.single |= k.sync.single;
+        }
+        EXPECT_EQ(declared.staticFor, built.staticFor) << app.name;
+        EXPECT_EQ(declared.dynamicFor, built.dynamicFor) << app.name;
+        EXPECT_EQ(declared.atomic, built.atomic) << app.name;
+        EXPECT_EQ(declared.lock, built.lock) << app.name;
+        EXPECT_EQ(declared.reduction, built.reduction) << app.name;
+        EXPECT_EQ(declared.master, built.master) << app.name;
+        EXPECT_EQ(declared.single, built.single) << app.name;
+    }
+}
+
+TEST(Workload, XzThreadOverrides)
+{
+    EXPECT_EQ(findApp("657.xz_s.1").effectiveThreads(8), 1u);
+    EXPECT_EQ(findApp("657.xz_s.2").effectiveThreads(8), 4u);
+    EXPECT_EQ(findApp("603.bwaves_s.1").effectiveThreads(8), 8u);
+    EXPECT_EQ(findApp("603.bwaves_s.1").effectiveThreads(16), 16u);
+}
+
+TEST(Workload, XzS2IsBarrierPoor)
+{
+    // One timestep -> very few kernel instances -> very few barriers,
+    // matching the paper's "xz has no (useful) barriers".
+    const auto &xz = findApp("657.xz_s.2");
+    Program p = generateProgram(xz, InputClass::Train);
+    EXPECT_LE(p.runList.size(), 4u);
+
+    const auto &pop2 = findApp("628.pop2_s.1");
+    Program pp = generateProgram(pop2, InputClass::Train);
+    EXPECT_GT(pp.runList.size(), 100u); // barrier-rich
+}
+
+TEST(Workload, PthreadSuiteGeneratesValidPrograms)
+{
+    EXPECT_EQ(pthreadApps().size(), 3u);
+    for (const auto &app : pthreadApps()) {
+        Program p = generateProgram(app, InputClass::Train);
+        p.validate();
+        EXPECT_EQ(app.suite, Suite::PthreadLike);
+        uint64_t work = p.estimateWorkInstrs(8);
+        EXPECT_GT(work, 1'000'000u) << app.name;
+        EXPECT_LT(work, 120'000'000u) << app.name;
+        // Lock/atomic-centric, as advertised.
+        SyncUse u = app.declaredSync();
+        EXPECT_TRUE(u.lock || u.atomic) << app.name;
+    }
+    EXPECT_EQ(findApp("pt-pipeline").name, "pt-pipeline");
+}
+
+TEST(Workload, FindAppThrowsOnUnknown)
+{
+    EXPECT_THROW(findApp("no-such-app"), FatalError);
+}
+
+TEST(Workload, DemoAppRunsQuickly)
+{
+    Program p = generateProgram(demoMatrixApp(), InputClass::Test);
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 200);
+    d.run();
+    EXPECT_TRUE(e.allFinished());
+    EXPECT_GT(e.globalFilteredIcount(), 10'000u);
+}
+
+TEST(Workload, XzS2ExecutionIsHeterogeneous)
+{
+    // Fig. 3 ground truth: per-thread shares differ strongly.
+    const auto &xz = findApp("657.xz_s.2");
+    Program p = generateProgram(xz, InputClass::Test);
+    uint32_t threads = xz.effectiveThreads(8);
+    ExecConfig cfg{.numThreads = threads,
+                   .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 500);
+    d.run();
+    uint64_t t0 = e.filteredIcount(0);
+    uint64_t t_last = e.filteredIcount(threads - 1);
+    EXPECT_GT(t0, t_last); // skewed toward thread 0
+}
+
+TEST(Workload, InputClassNames)
+{
+    EXPECT_EQ(inputClassName(InputClass::Train), "train");
+    EXPECT_EQ(inputClassName(InputClass::Ref), "ref");
+    EXPECT_EQ(inputClassName(InputClass::NpbC), "C");
+}
+
+} // namespace
+} // namespace looppoint

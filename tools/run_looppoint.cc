@@ -1,0 +1,304 @@
+/**
+ * @file
+ * run-looppoint: the command-line driver, mirroring the artifact's
+ * run-looppoint.py (paper appendix A.E):
+ *
+ *   run_looppoint -p <suite>-<application>-<input-num> [-n N]
+ *                 [-i CLASS] [-w POLICY] [--force] [--native]
+ *                 [--inorder] [--constrained] [--no-fullsim]
+ *
+ * Programs are named like the artifact (demo-matrix-1,
+ * spec-bwaves-1, spec-xz-2, npb-bt-1, ...); multiple programs may be
+ * given comma-separated. The tool runs profiling, region selection,
+ * region simulation, (optionally) the full-application simulation, and
+ * prints the estimated error and speedups — the artifact's console
+ * output, end to end.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "exec/driver.hh"
+#include "util/logging.hh"
+
+using namespace looppoint;
+
+namespace {
+
+struct CliOptions
+{
+    std::vector<std::string> programs{"demo-matrix-1"};
+    uint32_t ncores = 8;
+    std::string inputClass = "test";
+    std::string waitPolicy = "passive";
+    bool native = false;
+    bool inorder = false;
+    bool constrained = false;
+    bool fullSim = true;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: run_looppoint [options]\n"
+        "  -p, --program=LIST   comma-separated programs, each\n"
+        "                       <suite>-<app>-<input-num>\n"
+        "                       (default: demo-matrix-1)\n"
+        "  -n, --ncores=N       number of threads (default: 8)\n"
+        "  -i, --input-class=C  test | train | ref | A | C | D\n"
+        "                       (default: test)\n"
+        "  -w, --wait-policy=P  passive | active (default: passive)\n"
+        "      --native         run the application functionally only\n"
+        "      --inorder        simulate an in-order core\n"
+        "      --constrained    constrained (replay-ordered) regions\n"
+        "      --no-fullsim     skip the full-application simulation\n"
+        "      --force          start a new end-to-end run (accepted\n"
+        "                       for artifact compatibility; runs are\n"
+        "                       always fresh here)\n"
+        "  -h, --help           this message\n"
+        "\nexamples (artifact appendix):\n"
+        "  ./run_looppoint -p demo-matrix-1 -n 8 --force\n"
+        "  ./run_looppoint -p demo-matrix-2,demo-matrix-3 -w active "
+        "-i test --force\n"
+        "  ./run_looppoint -p spec-imagick-1 -i train -n 8\n");
+}
+
+/**
+ * Translate an artifact-style program name
+ * (<suite>-<application>-<input-num>) to a workload-table app name.
+ */
+std::string
+resolveProgram(const std::string &prog)
+{
+    auto dash1 = prog.find('-');
+    auto dash2 = prog.rfind('-');
+    if (dash1 == std::string::npos || dash2 == dash1)
+        fatal("program '%s' is not of the form "
+              "<suite>-<application>-<input-num>", prog.c_str());
+    std::string suite = prog.substr(0, dash1);
+    std::string app = prog.substr(dash1 + 1, dash2 - dash1 - 1);
+    std::string input_num = prog.substr(dash2 + 1);
+
+    if (suite == "demo")
+        return "demo-matrix";
+    if (suite == "npb")
+        return "npb-" + app;
+    if (suite == "spec") {
+        // Accept either the numbered name (spec-638.imagick_s-1) or
+        // the short name (spec-imagick-1).
+        for (const auto &d : spec2017Apps()) {
+            if (d.name == app + "." + input_num)
+                return d.name;
+            // short form: match ".<short>_s.<num>"
+            std::string needle = "." + app + "_s." + input_num;
+            if (d.name.size() > needle.size() &&
+                d.name.compare(d.name.size() - needle.size(),
+                               needle.size(), needle) == 0)
+                return d.name;
+        }
+        fatal("unknown SPEC program '%s'", prog.c_str());
+    }
+    fatal("unknown suite '%s' (expected demo, spec, or npb)",
+          suite.c_str());
+}
+
+InputClass
+resolveInput(const std::string &name)
+{
+    if (name == "test")
+        return InputClass::Test;
+    if (name == "train")
+        return InputClass::Train;
+    if (name == "ref")
+        return InputClass::Ref;
+    if (name == "A")
+        return InputClass::NpbA;
+    if (name == "C")
+        return InputClass::NpbC;
+    if (name == "D")
+        return InputClass::NpbD;
+    fatal("unknown input class '%s'", name.c_str());
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseArg(int argc, char **argv, int &i, const char *short_name,
+         const char *long_name, std::string *value)
+{
+    std::string arg = argv[i];
+    std::string long_eq = std::string(long_name) + "=";
+    if (arg == short_name || arg == long_name) {
+        if (i + 1 >= argc)
+            fatal("option %s requires a value", arg.c_str());
+        *value = argv[++i];
+        return true;
+    }
+    if (arg.rfind(long_eq, 0) == 0) {
+        *value = arg.substr(long_eq.size());
+        return true;
+    }
+    return false;
+}
+
+CliOptions
+parseCli(int argc, char **argv)
+{
+    CliOptions opts;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            usage();
+            std::exit(0);
+        } else if (parseArg(argc, argv, i, "-p", "--program", &value)) {
+            opts.programs = splitCommas(value);
+        } else if (parseArg(argc, argv, i, "-n", "--ncores", &value)) {
+            opts.ncores = static_cast<uint32_t>(std::stoul(value));
+        } else if (parseArg(argc, argv, i, "-i", "--input-class",
+                            &value)) {
+            opts.inputClass = value;
+        } else if (parseArg(argc, argv, i, "-w", "--wait-policy",
+                            &value)) {
+            opts.waitPolicy = value;
+        } else if (arg == "--native") {
+            opts.native = true;
+        } else if (arg == "--inorder") {
+            opts.inorder = true;
+        } else if (arg == "--constrained") {
+            opts.constrained = true;
+        } else if (arg == "--no-fullsim") {
+            opts.fullSim = false;
+        } else if (arg == "--force" || arg == "--reuse-profile" ||
+                   arg == "--reuse-fullsim") {
+            // Artifact compatibility: runs are always fresh.
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            std::exit(1);
+        }
+    }
+    if (opts.waitPolicy != "passive" && opts.waitPolicy != "active")
+        fatal("wait policy must be 'passive' or 'active'");
+    return opts;
+}
+
+int
+runNative(const std::string &app_name, const CliOptions &cli)
+{
+    const AppDescriptor &app = findApp(app_name);
+    uint32_t threads = app.effectiveThreads(cli.ncores);
+    Program prog = generateProgram(app, resolveInput(cli.inputClass));
+    ExecConfig cfg;
+    cfg.numThreads = threads;
+    cfg.waitPolicy = cli.waitPolicy == "active" ? WaitPolicy::Active
+                                                : WaitPolicy::Passive;
+    ExecutionEngine engine(prog, cfg);
+    RoundRobinDriver driver(engine, 1000);
+    driver.run();
+    std::printf("[native] %s: %llu instructions (%llu in the main "
+                "image), %u threads\n",
+                app_name.c_str(),
+                static_cast<unsigned long long>(engine.globalIcount()),
+                static_cast<unsigned long long>(
+                    engine.globalFilteredIcount()),
+                threads);
+    return 0;
+}
+
+int
+runOne(const std::string &program, const CliOptions &cli)
+{
+    std::string app_name = resolveProgram(program);
+    std::printf("==== %s (%s, input %s, %u cores, %s wait) ====\n",
+                program.c_str(), app_name.c_str(),
+                cli.inputClass.c_str(), cli.ncores,
+                cli.waitPolicy.c_str());
+    if (cli.native)
+        return runNative(app_name, cli);
+
+    ExperimentConfig cfg;
+    cfg.app = app_name;
+    cfg.input = resolveInput(cli.inputClass);
+    cfg.requestedThreads = cli.ncores;
+    cfg.waitPolicy = cli.waitPolicy == "active" ? WaitPolicy::Active
+                                                : WaitPolicy::Passive;
+    cfg.constrainedRegions = cli.constrained;
+    cfg.simulateFull = cli.fullSim;
+    if (cli.inorder)
+        cfg.sim.coreType = CoreType::InOrder;
+    // Test-class runs are small; shrink slices so clustering has
+    // enough intervals to work with (paper Sec. III-B).
+    if (cfg.input == InputClass::Test)
+        cfg.loopPoint.sliceSizePerThread = 25'000;
+
+    ExperimentResult r = runExperiment(cfg);
+
+    std::printf("profiling      : %zu slices, %llu filtered "
+                "instructions\n",
+                r.analysis.slices.size(),
+                static_cast<unsigned long long>(
+                    r.analysis.totalFilteredIcount));
+    std::printf("region selection: k = %u looppoints\n",
+                r.analysis.chosenK);
+    for (const auto &region : r.analysis.regions) {
+        std::printf("  cluster %2u: slice %3u, start=(%#llx,%llu) "
+                    "end=(%#llx,%llu) mult=%.3f\n",
+                    region.cluster, region.sliceIndex,
+                    static_cast<unsigned long long>(region.start.pc),
+                    static_cast<unsigned long long>(region.start.count),
+                    static_cast<unsigned long long>(region.end.pc),
+                    static_cast<unsigned long long>(region.end.count),
+                    region.multiplier);
+    }
+    std::printf("prediction     : runtime %.6f s\n",
+                r.predicted.runtimeSeconds);
+    if (r.haveFullSim) {
+        std::printf("full simulation: runtime %.6f s\n",
+                    r.fullSim.runtimeSeconds);
+        std::printf("estimated error: %.2f %%\n", r.runtimeErrorPct);
+        std::printf("actual speedup : %.1fx serial, %.1fx parallel "
+                    "(checkpoint generation %.2f s)\n",
+                    r.actualSerialSpeedup, r.actualParallelSpeedup,
+                    r.wallCheckpointSeconds);
+    }
+    std::printf("theo. speedup  : %.1fx serial, %.1fx parallel\n\n",
+                r.theoreticalSerialSpeedup,
+                r.theoreticalParallelSpeedup);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        CliOptions cli = parseCli(argc, argv);
+        for (const auto &program : cli.programs)
+            runOne(program, cli);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "run_looppoint: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
