@@ -8,6 +8,8 @@
 #ifndef LOOPPOINT_BENCH_BENCH_UTIL_HH
 #define LOOPPOINT_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -114,6 +116,50 @@ fmt(double v)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", v);
     return buf;
+}
+
+/** Wall-clock stopwatch for phase timing around pool-parallel work. */
+class WallTimer
+{
+  public:
+    WallTimer() : t0(std::chrono::steady_clock::now()) {}
+
+    void reset() { t0 = std::chrono::steady_clock::now(); }
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point t0;
+};
+
+/**
+ * Measured host-parallel self-relative speedup of a phase: the
+ * serial-equivalent time (sum of per-task wall times, plus any serial
+ * prefix) over the measured phase wall time. This is what the host
+ * actually achieved, as opposed to the theoretical region-count bound
+ * the figures also report.
+ */
+inline double
+hostSpeedup(double serial_equivalent_s, double phase_wall_s)
+{
+    return phase_wall_s > 0.0 ? serial_equivalent_s / phase_wall_s
+                              : 0.0;
+}
+
+/** Parallel efficiency of a phase run on `jobs` host workers. */
+inline double
+hostEfficiency(double serial_equivalent_s, double phase_wall_s,
+               uint32_t jobs)
+{
+    return jobs ? hostSpeedup(serial_equivalent_s, phase_wall_s) /
+                      static_cast<double>(jobs)
+                : 0.0;
 }
 
 inline void

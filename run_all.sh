@@ -1,7 +1,22 @@
 #!/bin/bash
 # Regenerates test_output.txt and bench_output.txt (the paper-reproduction
 # evidence files). Runs every bench binary with default arguments.
+#
+# With --tsan (or LOOPPOINT_TSAN=1) the tier-1 test suite is first
+# built and run under ThreadSanitizer (-DLOOPPOINT_SANITIZE=thread in
+# build-tsan/) to validate the work-stealing thread pool and the
+# host-parallel phases; the regular suite and benches then run from
+# the unsanitized build as usual.
 cd "$(dirname "$0")"
+
+if [ "$1" = "--tsan" ] || [ "${LOOPPOINT_TSAN:-0}" = "1" ]; then
+    echo "== tier-1 under ThreadSanitizer (build-tsan) =="
+    cmake -B build-tsan -S . -DLOOPPOINT_SANITIZE=thread || exit 1
+    cmake --build build-tsan -j || exit 1
+    ctest --test-dir build-tsan --output-on-failure 2>&1 \
+        | tee tsan_output.txt || exit 1
+fi
+
 ctest --test-dir build 2>&1 | tee test_output.txt
 {
 for b in build/bench/*; do

@@ -1,10 +1,12 @@
 #include "cluster/kmeans.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace looppoint {
 
@@ -162,7 +164,7 @@ bicScore(const FeatureMatrix &points, const KmeansResult &result)
 
 ClusteringResult
 simpointCluster(const FeatureMatrix &points, uint32_t max_k,
-                uint64_t seed, double bic_threshold)
+                uint64_t seed, double bic_threshold, ThreadPool *pool)
 {
     if (points.empty())
         fatal("simpointCluster: no slices to cluster");
@@ -192,14 +194,28 @@ simpointCluster(const FeatureMatrix &points, uint32_t max_k,
             ks.push_back(limit);
     }
 
+    // One pool task per K candidate; results land in index-addressed
+    // slots and each candidate's RNG is seeded from (seed, k), so the
+    // sweep is bit-identical for any jobs count and schedule.
+    using clock = std::chrono::steady_clock;
+    auto t_sweep = clock::now();
     ClusteringResult out;
-    std::vector<KmeansResult> runs;
-    runs.reserve(ks.size());
-    for (uint32_t k : ks) {
+    std::vector<KmeansResult> runs(ks.size());
+    out.bicByK.resize(ks.size());
+    std::vector<double> candidate_wall(ks.size(), 0.0);
+    ThreadPool::forEach(pool, 0, ks.size(), [&](size_t i) {
+        auto t0 = clock::now();
+        const uint32_t k = ks[i];
         Rng rng(hashCombine(seed, k));
-        runs.push_back(kmeans(points, k, rng));
-        out.bicByK.emplace_back(k, bicScore(points, runs.back()));
-    }
+        runs[i] = kmeans(points, k, rng);
+        out.bicByK[i] = {k, bicScore(points, runs[i])};
+        candidate_wall[i] =
+            std::chrono::duration<double>(clock::now() - t0).count();
+    });
+    for (double w : candidate_wall)
+        out.candidateWallSeconds += w;
+    out.sweepWallSeconds =
+        std::chrono::duration<double>(clock::now() - t_sweep).count();
 
     double best = out.bicByK[0].second;
     double worst = out.bicByK[0].second;
@@ -223,20 +239,34 @@ simpointCluster(const FeatureMatrix &points, uint32_t max_k,
     return out;
 }
 
+size_t
+nearestMemberToCentroid(const FeatureMatrix &points,
+                        const KmeansResult &result, uint32_t cluster,
+                        size_t exclude)
+{
+    size_t best_i = points.size();
+    double best_d = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (i == exclude || result.assignment[i] != cluster)
+            continue;
+        double d2 = sqDist(points[i], result.centroids[cluster]);
+        if (d2 < best_d) {
+            best_d = d2;
+            best_i = i;
+        }
+    }
+    return best_i;
+}
+
 std::vector<uint32_t>
 pickRepresentatives(const FeatureMatrix &points,
                     const KmeansResult &result)
 {
     std::vector<uint32_t> reps(result.k, 0);
-    std::vector<double> best(result.k,
-                             std::numeric_limits<double>::max());
-    for (size_t i = 0; i < points.size(); ++i) {
-        uint32_t c = result.assignment[i];
-        double d2 = sqDist(points[i], result.centroids[c]);
-        if (d2 < best[c]) {
-            best[c] = d2;
+    for (uint32_t c = 0; c < result.k; ++c) {
+        size_t i = nearestMemberToCentroid(points, result, c);
+        if (i != points.size())
             reps[c] = static_cast<uint32_t>(i);
-        }
     }
     return reps;
 }

@@ -18,6 +18,8 @@
 
 namespace looppoint {
 
+class ThreadPool;
+
 /** Dense feature matrix: one row per slice. */
 using FeatureMatrix = std::vector<std::vector<double>>;
 
@@ -54,6 +56,10 @@ struct ClusteringResult
     /** (k, BIC) for each scanned k, ascending in k. */
     std::vector<std::pair<uint32_t, double>> bicByK;
     uint32_t chosenK = 0;
+    /** Sum of per-candidate k-means wall times (serial-equivalent). */
+    double candidateWallSeconds = 0.0;
+    /** Measured wall time of the whole sweep. */
+    double sweepWallSeconds = 0.0;
 };
 
 /**
@@ -61,10 +67,15 @@ struct ClusteringResult
  * clamped to the number of rows), score with BIC, and choose the
  * smallest scanned k whose normalized BIC is >= bic_threshold — the
  * SimPoint 3.x selection rule.
+ *
+ * With `pool`, the K candidates run as one pool task each; every
+ * candidate's RNG is seeded from (seed, k), so the result is
+ * bit-identical to the serial sweep for any worker count.
  */
 ClusteringResult simpointCluster(const FeatureMatrix &points,
                                  uint32_t max_k, uint64_t seed,
-                                 double bic_threshold = 0.9);
+                                 double bic_threshold = 0.9,
+                                 ThreadPool *pool = nullptr);
 
 /**
  * Index of the row closest to each centroid (the cluster
@@ -72,6 +83,19 @@ ClusteringResult simpointCluster(const FeatureMatrix &points,
  */
 std::vector<uint32_t> pickRepresentatives(const FeatureMatrix &points,
                                           const KmeansResult &result);
+
+/**
+ * Index of the cluster member nearest to the cluster's centroid,
+ * skipping row `exclude` (pass points.size() or larger to exclude
+ * nothing). Ties break to the lowest index. Returns points.size()
+ * when the cluster has no eligible member. Shared by representative
+ * selection and the startup-transient guard so the two distance
+ * computations cannot drift.
+ */
+size_t nearestMemberToCentroid(const FeatureMatrix &points,
+                               const KmeansResult &result,
+                               uint32_t cluster,
+                               size_t exclude = ~size_t{0});
 
 /**
  * Deterministic random linear projection of sparse vectors.

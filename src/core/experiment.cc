@@ -31,6 +31,9 @@ runExperiment(const ExperimentConfig &cfg)
     LoopPointOptions opts = cfg.loopPoint;
     opts.numThreads = threads;
     opts.waitPolicy = cfg.waitPolicy;
+    opts.jobs = cfg.jobs;
+    SimConfig sim_cfg = cfg.sim;
+    sim_cfg.jobs = cfg.jobs;
 
     ExperimentResult res;
     res.app = cfg.app;
@@ -49,20 +52,24 @@ runExperiment(const ExperimentConfig &cfg)
     // pass (they are what a parallel deployment of the checkpoints
     // would see); the checkpoint pass is reported separately.
     auto ckpt = pipeline.simulateRegionsCheckpointed(
-        res.analysis, cfg.sim, cfg.constrainedRegions);
-    res.regionMetrics = std::move(ckpt.regionMetrics);
+        res.analysis, sim_cfg, cfg.constrainedRegions);
     res.wallCheckpointSeconds = ckpt.checkpointWallSeconds;
+    res.wallPhaseSeconds = ckpt.phaseWallSeconds;
+    res.jobs = ckpt.jobs;
+    res.hostParallelSpeedup = ckpt.hostParallelSpeedup();
+    res.hostParallelEfficiency = ckpt.parallelEfficiency();
     for (double wall : ckpt.regionWallSeconds) {
         res.wallRegionsTotalSeconds += wall;
         res.wallRegionsMaxSeconds =
             std::max(res.wallRegionsMaxSeconds, wall);
     }
+    res.regionMetrics = std::move(ckpt.regionMetrics);
     res.predicted =
-        extrapolateMetrics(res.analysis, res.regionMetrics, cfg.sim);
+        extrapolateMetrics(res.analysis, res.regionMetrics, sim_cfg);
 
     if (cfg.simulateFull) {
         auto t0 = std::chrono::steady_clock::now();
-        res.fullSim = pipeline.simulateFull(cfg.sim);
+        res.fullSim = pipeline.simulateFull(sim_cfg);
         res.wallFullSeconds = secondsSince(t0);
         res.haveFullSim = true;
 

@@ -30,6 +30,13 @@ struct ExperimentConfig
     /** Constrained (PinPlay-ordered) region simulation. */
     bool constrainedRegions = false;
     /**
+     * Host worker threads for the parallel phases (clustering sweep,
+     * checkpoint-fanout region simulation); overrides loopPoint.jobs
+     * and sim.jobs. 1 = serial, 0 = hardware concurrency. Simulated
+     * results are bit-identical for any value.
+     */
+    uint32_t jobs = 1;
+    /**
      * Simulate the whole application in detail for ground truth.
      * Disable for ref-style inputs where only the analysis phase and
      * theoretical speedups are wanted (paper Fig. 9).
@@ -65,6 +72,16 @@ struct ExperimentResult
     double wallCheckpointSeconds = 0.0;
     double wallRegionsTotalSeconds = 0.0;
     double wallRegionsMaxSeconds = 0.0;
+    /** Measured wall time of the whole checkpointed phase. */
+    double wallPhaseSeconds = 0.0;
+
+    /** Host workers the parallel phases ran with. */
+    uint32_t jobs = 1;
+    /** Measured host-parallel self-relative speedup of the
+     * checkpointed phase (serial-equivalent / phase wall). */
+    double hostParallelSpeedup = 0.0;
+    /** hostParallelSpeedup / jobs. */
+    double hostParallelEfficiency = 0.0;
 };
 
 /** Run one experiment end to end. */

@@ -2,13 +2,50 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 
 #include "dcfg/dcfg.hh"
 #include "exec/driver.hh"
 #include "profile/slicer.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace looppoint {
+
+namespace {
+
+/** Resolve a jobs knob: 0 = hardware concurrency, otherwise as is. */
+uint32_t
+effectiveJobs(uint32_t jobs)
+{
+    return jobs ? jobs : ThreadPool::defaultWorkers();
+}
+
+} // namespace
+
+double
+LoopPointPipeline::CheckpointedSimResult::serialEquivalentSeconds() const
+{
+    double total = checkpointWallSeconds;
+    for (double w : regionWallSeconds)
+        total += w;
+    return total;
+}
+
+double
+LoopPointPipeline::CheckpointedSimResult::hostParallelSpeedup() const
+{
+    return phaseWallSeconds > 0.0
+               ? serialEquivalentSeconds() / phaseWallSeconds
+               : 0.0;
+}
+
+double
+LoopPointPipeline::CheckpointedSimResult::parallelEfficiency() const
+{
+    return jobs ? hostParallelSpeedup() / static_cast<double>(jobs)
+                : 0.0;
+}
 
 double
 LoopPointResult::theoreticalSerialSpeedup() const
@@ -42,6 +79,19 @@ LoopPointPipeline::LoopPointPipeline(const Program &prog_,
         fatal("LoopPointPipeline: slice size must be positive");
 }
 
+LoopPointPipeline::~LoopPointPipeline() = default;
+
+ThreadPool *
+LoopPointPipeline::poolFor(uint32_t jobs) const
+{
+    uint32_t workers = effectiveJobs(jobs);
+    if (workers <= 1)
+        return nullptr;
+    if (!sharedPool || sharedPool->numWorkers() != workers)
+        sharedPool = std::make_unique<ThreadPool>(workers);
+    return sharedPool.get();
+}
+
 ExecConfig
 LoopPointPipeline::execConfig() const
 {
@@ -55,13 +105,16 @@ LoopPointPipeline::execConfig() const
 FeatureMatrix
 buildFeatureMatrix(const Program &prog,
                    const std::vector<SliceRecord> &slices, uint32_t dims,
-                   uint64_t seed)
+                   uint64_t seed, ThreadPool *pool)
 {
     RandomProjector projector(dims, hashCombine(seed, 0xbbf));
-    FeatureMatrix features;
-    features.reserve(slices.size());
+    FeatureMatrix features(slices.size());
     const uint64_t num_blocks = prog.numBlocks();
-    for (const auto &slice : slices) {
+    // Each slice projects into its own row; the projector is shared
+    // but stateless, so the parallel build is bit-identical to the
+    // serial one.
+    ThreadPool::forEach(pool, 0, slices.size(), [&](size_t i) {
+        const SliceRecord &slice = slices[i];
         std::vector<std::pair<uint64_t, double>> sparse;
         double norm = slice.filteredIcount
                           ? static_cast<double>(slice.filteredIcount)
@@ -77,8 +130,8 @@ buildFeatureMatrix(const Program &prog,
                     weight);
             }
         }
-        features.push_back(projector.project(sparse));
-    }
+        features[i] = projector.project(sparse);
+    });
     return features;
 }
 
@@ -120,11 +173,16 @@ LoopPointPipeline::analyze()
 
     // (4) Cluster the projected BBVs and pick one representative per
     // cluster, weighted by the cluster's share of the work (Eq. 2).
+    // Both the projection and the K sweep fan out over the shared
+    // pool when opts.jobs allows.
+    ThreadPool *pool = poolFor(opts.jobs);
     FeatureMatrix features = buildFeatureMatrix(
-        *prog, out.slices, opts.projectionDims, opts.seed);
+        *prog, out.slices, opts.projectionDims, opts.seed, pool);
     ClusteringResult clustering = simpointCluster(
         features, opts.maxK, hashCombine(opts.seed, 0xc1u),
-        opts.bicThreshold);
+        opts.bicThreshold, pool);
+    out.clusterSerialSeconds = clustering.candidateWallSeconds;
+    out.clusterWallSeconds = clustering.sweepWallSeconds;
     out.assignment = clustering.best.assignment;
     out.chosenK = clustering.chosenK;
     out.bicByK.reserve(clustering.bicByK.size());
@@ -145,24 +203,10 @@ LoopPointPipeline::analyze()
     for (uint32_t c = 0; c < clustering.best.k; ++c) {
         if (reps[c] != 0)
             continue;
-        double best_d = -1.0;
-        uint32_t best_i = 0;
-        for (size_t i = 1; i < out.slices.size(); ++i) {
-            if (out.assignment[i] != c)
-                continue;
-            double d = 0.0;
-            for (size_t j = 0; j < features[i].size(); ++j) {
-                double diff = features[i][j] -
-                              clustering.best.centroids[c][j];
-                d += diff * diff;
-            }
-            if (best_d < 0.0 || d < best_d) {
-                best_d = d;
-                best_i = static_cast<uint32_t>(i);
-            }
-        }
-        if (best_d >= 0.0)
-            reps[c] = best_i;
+        size_t alt = nearestMemberToCentroid(features, clustering.best,
+                                             c, /*exclude=*/0);
+        if (alt != features.size())
+            reps[c] = static_cast<uint32_t>(alt);
     }
     std::vector<uint64_t> cluster_work(out.chosenK, 0);
     for (size_t i = 0; i < out.slices.size(); ++i)
@@ -210,6 +254,31 @@ LoopPointPipeline::simulateFull(const SimConfig &sim_cfg) const
     return sim.run();
 }
 
+namespace {
+
+/**
+ * One region checkpoint in flight: a deep snapshot of the warming
+ * simulation plus its private replay arbiter, heap-held so the
+ * snapshot outlives the warming loop iteration that took it. The
+ * arbiter is rebound in the constructor (the MulticoreSim copy aliases
+ * the source's arbiter otherwise).
+ */
+struct RegionSnapshot
+{
+    MulticoreSim sim;
+    ReplayArbiter arbiter;
+
+    RegionSnapshot(const MulticoreSim &base,
+                   const ReplayArbiter &base_arbiter, bool constrained)
+        : sim(base), arbiter(base_arbiter)
+    {
+        if (constrained)
+            sim.engine().setArbiter(&arbiter);
+    }
+};
+
+} // namespace
+
 LoopPointPipeline::CheckpointedSimResult
 LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
                                                const SimConfig &sim_cfg,
@@ -221,8 +290,11 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     };
 
     CheckpointedSimResult out;
+    out.jobs = effectiveJobs(sim_cfg.jobs);
     out.regionMetrics.resize(lp.regions.size());
     out.regionWallSeconds.resize(lp.regions.size(), 0.0);
+
+    auto t_phase = clock::now();
 
     // Process regions in program order so a single warming pass can
     // take every checkpoint.
@@ -246,6 +318,14 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     MulticoreSim base(*prog, execConfig(), sim_cfg,
                       constrained ? &base_arbiter : nullptr);
 
+    // Checkpoint fanout: the warming pass (necessarily serial — it is
+    // one execution) advances in program order; each snapshot it takes
+    // goes straight to the pool, so region bodies simulate while
+    // warming continues toward the next checkpoint. jobs == 1 runs
+    // the snapshot inline, which is exactly the old serial schedule.
+    ThreadPool *pool = out.jobs > 1 ? poolFor(out.jobs) : nullptr;
+    std::vector<std::future<void>> inflight;
+
     for (size_t idx : order) {
         const LoopPointRegion &region = lp.regions[idx];
 
@@ -263,26 +343,40 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
         out.checkpointWallSeconds += seconds_since(t_ff);
 
         // Snapshot = region pinball with warm microarchitectural
-        // state; simulate it in isolation.
-        auto t_region = clock::now();
-        MulticoreSim snap(base);
-        ReplayArbiter snap_arbiter(base_arbiter);
-        if (constrained)
-            snap.engine().setArbiter(&snap_arbiter);
-
-        SimMetrics m;
-        if (region.end.pc == 0) {
-            m = snap.runDetailed();
-        } else {
-            BlockId end_block = block_of(region.end.pc);
-            m = snap.runDetailed([&] {
-                return snap.engine().blockExecCount(end_block) >=
-                       region.end.count;
-            });
-        }
-        out.regionMetrics[idx] = m;
-        out.regionWallSeconds[idx] = seconds_since(t_region);
+        // state; simulate it in isolation. Marker blocks resolve on
+        // the warming thread so pool tasks cannot throw FatalError.
+        const BlockId end_block =
+            region.end.pc ? block_of(region.end.pc) : kInvalidBlock;
+        auto snap = std::make_shared<RegionSnapshot>(base, base_arbiter,
+                                                     constrained);
+        auto simulate = [snap, end_block,
+                         end_count = region.end.count, idx, &out,
+                         seconds_since] {
+            auto t_region = clock::now();
+            SimMetrics m;
+            if (end_block == kInvalidBlock) {
+                m = snap->sim.runDetailed();
+            } else {
+                m = snap->sim.runDetailed([&] {
+                    return snap->sim.engine().blockExecCount(
+                               end_block) >= end_count;
+                });
+            }
+            // idx is unique per task: each writes its own slot.
+            out.regionMetrics[idx] = m;
+            out.regionWallSeconds[idx] = seconds_since(t_region);
+        };
+        if (pool)
+            inflight.push_back(pool->submit(std::move(simulate)));
+        else
+            simulate();
     }
+
+    // Warming is done; join the drain (the warming thread helps run
+    // queued regions instead of idling).
+    for (auto &fut : inflight)
+        pool->waitHelping(fut);
+    out.phaseWallSeconds = seconds_since(t_phase);
     return out;
 }
 

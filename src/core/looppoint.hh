@@ -21,6 +21,7 @@
 #define LOOPPOINT_CORE_LOOPPOINT_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cluster/kmeans.hh"
@@ -31,6 +32,8 @@
 #include "sim/multicore.hh"
 
 namespace looppoint {
+
+class ThreadPool;
 
 /** Tunables of the analysis phase. */
 struct LoopPointOptions
@@ -53,6 +56,12 @@ struct LoopPointOptions
      * counts (the paper's method). Disable only for ablation.
      */
     bool filterSpin = true;
+    /**
+     * Host worker threads for the analysis phase (feature projection
+     * and the k-means BIC sweep). 1 = serial, 0 = hardware
+     * concurrency. Results are bit-identical for any value.
+     */
+    uint32_t jobs = 1;
 };
 
 /** One selected representative region ("looppoint"). */
@@ -80,6 +89,10 @@ struct LoopPointResult
     std::vector<LoopPointRegion> regions;
     uint64_t totalFilteredIcount = 0;
     uint64_t totalIcount = 0;
+    /** Serial-equivalent clustering time (sum over K candidates). */
+    double clusterSerialSeconds = 0.0;
+    /** Measured wall time of the clustering sweep. */
+    double clusterWallSeconds = 0.0;
 
     /** Work reduction with regions simulated back-to-back. */
     double theoreticalSerialSpeedup() const;
@@ -132,6 +145,7 @@ class LoopPointPipeline
 {
   public:
     LoopPointPipeline(const Program &prog, LoopPointOptions opts);
+    ~LoopPointPipeline(); ///< out-of-line: ThreadPool is incomplete here
 
     /** Run the full analysis: record, profile, cluster, select. */
     LoopPointResult analyze();
@@ -158,6 +172,20 @@ class LoopPointPipeline
         std::vector<double> regionWallSeconds;
         /** One-time warming/checkpoint-generation pass (seconds). */
         double checkpointWallSeconds = 0.0;
+        /** End-to-end wall time of the whole checkpointed phase
+         * (warming plus all region simulations, as overlapped). */
+        double phaseWallSeconds = 0.0;
+        /** Host workers the phase ran with. */
+        uint32_t jobs = 1;
+
+        /** What one host thread would have needed (warming pass plus
+         * every region back to back). */
+        double serialEquivalentSeconds() const;
+        /** Measured host-parallel self-relative speedup:
+         * serial-equivalent time over measured phase wall time. */
+        double hostParallelSpeedup() const;
+        /** hostParallelSpeedup() normalized by the worker count. */
+        double parallelEfficiency() const;
     };
 
     /**
@@ -168,6 +196,14 @@ class LoopPointPipeline
      * analog — and each region then simulates independently from its
      * checkpoint. Region wall times therefore exclude the shared
      * analysis pass and are what parallel deployment would see.
+     *
+     * Checkpoint fanout: with sim_cfg.jobs != 1, each snapshot is
+     * handed to the shared thread pool as soon as it is taken, so
+     * region bodies simulate concurrently while the warming pass
+     * advances toward the next checkpoint (the warming thread joins
+     * the workers once the last checkpoint is out). Region results
+     * are bit-identical for any jobs count: every region simulates
+     * from its own deep snapshot and shares no mutable state.
      */
     CheckpointedSimResult simulateRegionsCheckpointed(
         const LoopPointResult &lp, const SimConfig &sim_cfg,
@@ -178,8 +214,15 @@ class LoopPointPipeline
   private:
     ExecConfig execConfig() const;
 
+    /**
+     * The pipeline's shared pool, (re)built for `jobs` workers;
+     * nullptr when jobs resolves to 1 (serial).
+     */
+    ThreadPool *poolFor(uint32_t jobs) const;
+
     const Program *prog;
     LoopPointOptions opts;
+    mutable std::unique_ptr<ThreadPool> sharedPool;
 };
 
 /**
@@ -195,10 +238,13 @@ MetricPrediction extrapolateMetrics(
  * Build the (projected) clustering feature matrix from slices:
  * instruction-weighted, normalized, per-thread-concatenated BBVs under
  * a deterministic random projection. Exposed for tests and ablations.
+ * With `pool`, slices project in parallel (one index-addressed row
+ * per slice; bit-identical for any worker count).
  */
 FeatureMatrix buildFeatureMatrix(const Program &prog,
                                  const std::vector<SliceRecord> &slices,
-                                 uint32_t dims, uint64_t seed);
+                                 uint32_t dims, uint64_t seed,
+                                 ThreadPool *pool = nullptr);
 
 } // namespace looppoint
 

@@ -60,6 +60,14 @@ struct SimConfig
     uint32_t latBranch = 1;
     uint32_t latAtomicExtra = 12; ///< added to the cache latency
 
+    /**
+     * Host worker threads for checkpointed region simulation
+     * (checkpoint fanout). 1 = serial, 0 = hardware concurrency.
+     * Purely a host-side knob: simulated results are bit-identical
+     * for any value.
+     */
+    uint32_t jobs = 1;
+
     /** Human-readable Table I-style description. */
     std::string describe() const;
 };

@@ -1,0 +1,263 @@
+#include "util/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+// Worker identity of the current thread, for deque-local push/pop.
+// Plain thread_locals (not members) so external threads are simply
+// "no pool, no deque".
+thread_local ThreadPool *tlsPool = nullptr;
+thread_local uint32_t tlsWid = 0;
+
+} // namespace
+
+uint32_t
+ThreadPool::defaultWorkers()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? static_cast<uint32_t>(n) : 1u;
+}
+
+ThreadPool::ThreadPool(uint32_t num_workers)
+{
+    uint32_t n = num_workers ? num_workers : defaultWorkers();
+    workers.reserve(n);
+    for (uint32_t wid = 0; wid < n; ++wid)
+        workers.push_back(std::make_unique<Worker>());
+    for (uint32_t wid = 0; wid < n; ++wid)
+        workers[wid]->thread =
+            std::thread([this, wid] { workerLoop(wid); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> g(sleepMtx);
+        stopping = true;
+        ++wakeEpoch;
+    }
+    sleepCv.notify_all();
+    for (auto &w : workers)
+        w->thread.join();
+    // A task racing with shutdown may have enqueued work after its
+    // worker drained and exited; finish it here so no queued task is
+    // ever dropped (and no future is left with a broken promise).
+    Task task;
+    while (takeTask(numWorkers(), task))
+        task();
+}
+
+void
+ThreadPool::bumpEpoch()
+{
+    {
+        std::lock_guard<std::mutex> g(sleepMtx);
+        ++wakeEpoch;
+    }
+    sleepCv.notify_all();
+}
+
+void
+ThreadPool::enqueue(Task task)
+{
+    uint32_t target;
+    if (tlsPool == this) {
+        target = tlsWid;
+    } else {
+        target = static_cast<uint32_t>(
+            pushCursor.fetch_add(1, std::memory_order_relaxed) %
+            workers.size());
+    }
+    {
+        std::lock_guard<std::mutex> g(workers[target]->mtx);
+        workers[target]->deque.push_back(std::move(task));
+    }
+    bumpEpoch();
+}
+
+bool
+ThreadPool::popLocal(uint32_t wid, Task &out)
+{
+    Worker &w = *workers[wid];
+    std::lock_guard<std::mutex> g(w.mtx);
+    if (w.deque.empty())
+        return false;
+    out = std::move(w.deque.back());
+    w.deque.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(uint32_t wid, Task &out)
+{
+    const uint32_t n = numWorkers();
+    const bool have_deque = wid < n;
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t victim = (wid + 1 + i) % n;
+        if (victim == wid)
+            continue;
+        // Move the spoils to a local buffer under the victim's lock
+        // only, then requeue under our own lock — never both at once,
+        // so two workers stealing from each other cannot deadlock.
+        std::vector<Task> stolen;
+        {
+            std::lock_guard<std::mutex> g(workers[victim]->mtx);
+            std::deque<Task> &dq = workers[victim]->deque;
+            if (dq.empty())
+                continue;
+            size_t take = have_deque ? (dq.size() + 1) / 2 : 1;
+            for (size_t s = 0; s < take; ++s) {
+                stolen.push_back(std::move(dq.front()));
+                dq.pop_front();
+            }
+        }
+        out = std::move(stolen.front());
+        if (stolen.size() > 1) {
+            {
+                std::lock_guard<std::mutex> g(workers[wid]->mtx);
+                for (size_t s = 1; s < stolen.size(); ++s)
+                    workers[wid]->deque.push_back(
+                        std::move(stolen[s]));
+            }
+            // The requeued tasks are up for grabs again.
+            bumpEpoch();
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+ThreadPool::takeTask(uint32_t wid, Task &out)
+{
+    if (wid < numWorkers() && popLocal(wid, out))
+        return true;
+    return steal(wid, out);
+}
+
+bool
+ThreadPool::runPendingTask()
+{
+    uint32_t wid = tlsPool == this ? tlsWid : numWorkers();
+    Task task;
+    if (!takeTask(wid, task))
+        return false;
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(uint32_t wid)
+{
+    tlsPool = this;
+    tlsWid = wid;
+    for (;;) {
+        // Read the epoch *before* scanning, so a push that lands
+        // between a failed scan and the wait still wakes us.
+        uint64_t epoch;
+        {
+            std::lock_guard<std::mutex> g(sleepMtx);
+            epoch = wakeEpoch;
+        }
+        Task task;
+        if (takeTask(wid, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> g(sleepMtx);
+        if (stopping)
+            break;
+        sleepCv.wait(g, [&] {
+            return wakeEpoch != epoch || stopping;
+        });
+        if (stopping && wakeEpoch == epoch)
+            break;
+    }
+    tlsPool = nullptr;
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &body)
+{
+    if (end <= begin)
+        return;
+    const size_t total = end - begin;
+    if (total == 1) {
+        body(begin);
+        return;
+    }
+
+    // Shared per-call state; runner tasks may outlive this frame (a
+    // runner that loses the race for the last index still has to wake
+    // up and return), hence the shared_ptr. `body` itself is only
+    // dereferenced for indices < total, all of which complete before
+    // this frame returns.
+    struct State
+    {
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        size_t total = 0;
+        size_t begin = 0;
+        const std::function<void(size_t)> *body = nullptr;
+        std::mutex mtx;
+        std::condition_variable cv;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<State>();
+    state->total = total;
+    state->begin = begin;
+    state->body = &body;
+
+    auto run = [state] {
+        for (;;) {
+            size_t i =
+                state->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= state->total)
+                return;
+            try {
+                (*state->body)(state->begin + i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(state->mtx);
+                if (!state->error)
+                    state->error = std::current_exception();
+            }
+            if (state->done.fetch_add(1) + 1 == state->total) {
+                std::lock_guard<std::mutex> g(state->mtx);
+                state->cv.notify_all();
+            }
+        }
+    };
+
+    // One runner per worker (capped by the index count); the calling
+    // thread is runner number zero, inline, so progress is guaranteed
+    // even when every worker is busy elsewhere.
+    const size_t runners = std::min<size_t>(numWorkers(), total - 1);
+    for (size_t r = 0; r < runners; ++r)
+        enqueue(run);
+    run();
+
+    std::unique_lock<std::mutex> g(state->mtx);
+    state->cv.wait(g, [&] {
+        return state->done.load() == state->total;
+    });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+void
+ThreadPool::forEach(ThreadPool *pool, size_t begin, size_t end,
+                    const std::function<void(size_t)> &body)
+{
+    if (!pool) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+    pool->parallelFor(begin, end, body);
+}
+
+} // namespace looppoint

@@ -23,6 +23,7 @@
 #include "core/experiment.hh"
 #include "exec/driver.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 using namespace looppoint;
 
@@ -32,6 +33,9 @@ struct CliOptions
 {
     std::vector<std::string> programs{"demo-matrix-1"};
     uint32_t ncores = 8;
+    /** Host workers for the parallel phases; 0 = hardware concurrency
+     * (resolved at parse time so the report shows the real width). */
+    uint32_t jobs = 0;
     std::string inputClass = "test";
     std::string waitPolicy = "passive";
     bool native = false;
@@ -49,6 +53,10 @@ usage()
         "                       <suite>-<app>-<input-num>\n"
         "                       (default: demo-matrix-1)\n"
         "  -n, --ncores=N       number of threads (default: 8)\n"
+        "  -j, --jobs=N         host worker threads for region\n"
+        "                       simulation and clustering (default:\n"
+        "                       hardware concurrency; results are\n"
+        "                       identical for any N)\n"
         "  -i, --input-class=C  test | train | ref | A | C | D\n"
         "                       (default: test)\n"
         "  -w, --wait-policy=P  passive | active (default: passive)\n"
@@ -174,6 +182,8 @@ parseCli(int argc, char **argv)
             opts.programs = splitCommas(value);
         } else if (parseArg(argc, argv, i, "-n", "--ncores", &value)) {
             opts.ncores = static_cast<uint32_t>(std::stoul(value));
+        } else if (parseArg(argc, argv, i, "-j", "--jobs", &value)) {
+            opts.jobs = static_cast<uint32_t>(std::stoul(value));
         } else if (parseArg(argc, argv, i, "-i", "--input-class",
                             &value)) {
             opts.inputClass = value;
@@ -199,6 +209,8 @@ parseCli(int argc, char **argv)
     }
     if (opts.waitPolicy != "passive" && opts.waitPolicy != "active")
         fatal("wait policy must be 'passive' or 'active'");
+    if (opts.jobs == 0)
+        opts.jobs = ThreadPool::defaultWorkers();
     return opts;
 }
 
@@ -229,10 +241,11 @@ int
 runOne(const std::string &program, const CliOptions &cli)
 {
     std::string app_name = resolveProgram(program);
-    std::printf("==== %s (%s, input %s, %u cores, %s wait) ====\n",
+    std::printf("==== %s (%s, input %s, %u cores, %s wait, %u jobs) "
+                "====\n",
                 program.c_str(), app_name.c_str(),
                 cli.inputClass.c_str(), cli.ncores,
-                cli.waitPolicy.c_str());
+                cli.waitPolicy.c_str(), cli.jobs);
     if (cli.native)
         return runNative(app_name, cli);
 
@@ -240,6 +253,7 @@ runOne(const std::string &program, const CliOptions &cli)
     cfg.app = app_name;
     cfg.input = resolveInput(cli.inputClass);
     cfg.requestedThreads = cli.ncores;
+    cfg.jobs = cli.jobs;
     cfg.waitPolicy = cli.waitPolicy == "active" ? WaitPolicy::Active
                                                 : WaitPolicy::Passive;
     cfg.constrainedRegions = cli.constrained;
@@ -281,6 +295,10 @@ runOne(const std::string &program, const CliOptions &cli)
                     r.actualSerialSpeedup, r.actualParallelSpeedup,
                     r.wallCheckpointSeconds);
     }
+    std::printf("host-parallel  : %u jobs, phase %.3f s, "
+                "self-relative speedup %.2fx (efficiency %.0f%%)\n",
+                r.jobs, r.wallPhaseSeconds, r.hostParallelSpeedup,
+                100.0 * r.hostParallelEfficiency);
     std::printf("theo. speedup  : %.1fx serial, %.1fx parallel\n\n",
                 r.theoreticalSerialSpeedup,
                 r.theoreticalParallelSpeedup);
