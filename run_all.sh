@@ -7,7 +7,34 @@
 # build-tsan/) to validate the work-stealing thread pool and the
 # host-parallel phases; the regular suite and benches then run from
 # the unsanitized build as usual.
+#
+# With --bench-smoke only the hot-path microbenchmark is built (Release,
+# build-rel/) and run on the small test input, and the emitted
+# BENCH_hotpath.json is validated for well-formedness — a fast CI gate
+# that the measurement harness itself still works.
 cd "$(dirname "$0")"
+
+if [ "$1" = "--bench-smoke" ]; then
+    echo "== bench smoke: micro_hotpath (build-rel) =="
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release || exit 1
+    cmake --build build-rel -j --target micro_hotpath || exit 1
+    out=$(mktemp /tmp/bench_smoke.XXXXXX.json)
+    timeout 600 build-rel/bench/micro_hotpath \
+        --input=test --reps=1 --out="$out" || exit 1
+    # Well-formedness: the three pipeline modes with nonzero rates.
+    for key in fastforward warmup detailed; do
+        grep -q "\"$key\"" "$out" || {
+            echo "bench-smoke FAIL: missing mode '$key' in $out"
+            exit 1
+        }
+    done
+    if grep -q '"blocks_per_sec": 0\.0' "$out"; then
+        echo "bench-smoke FAIL: zero throughput reported in $out"
+        exit 1
+    fi
+    echo "bench-smoke OK: $out"
+    exit 0
+fi
 
 if [ "$1" = "--tsan" ] || [ "${LOOPPOINT_TSAN:-0}" = "1" ]; then
     echo "== tier-1 under ThreadSanitizer (build-tsan) =="

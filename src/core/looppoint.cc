@@ -333,12 +333,8 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
         auto t_ff = clock::now();
         if (region.start.pc != 0 && region.start.count > 0) {
             BlockId start_block = block_of(region.start.pc);
-            base.fastForward(
-                [&] {
-                    return base.engine().blockExecCount(start_block) >=
-                           region.start.count;
-                },
-                /*warm=*/true);
+            base.fastForwardUntil(start_block, region.start.count,
+                                  /*warm=*/true);
         }
         out.checkpointWallSeconds += seconds_since(t_ff);
 
@@ -357,10 +353,7 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
             if (end_block == kInvalidBlock) {
                 m = snap->sim.runDetailed();
             } else {
-                m = snap->sim.runDetailed([&] {
-                    return snap->sim.engine().blockExecCount(
-                               end_block) >= end_count;
-                });
+                m = snap->sim.runDetailedUntil(end_block, end_count);
             }
             // idx is unique per task: each writes its own slot.
             out.regionMetrics[idx] = m;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "isa/addr_space.hh"
 #include "util/logging.hh"
 
 namespace looppoint {
@@ -10,31 +11,6 @@ namespace {
 
 /** Default arbiter: scheduling order decides everything. */
 SyncArbiter defaultArbiter;
-
-// Synthetic address-space layout. Regions are widely separated; the
-// cache models only care about bit patterns, not about a real mapping.
-constexpr Addr kSyncRegion = 0xFull << 40;
-constexpr Addr kStackRegion = 0xEull << 40;
-
-Addr
-syncAddr(uint32_t kind, uint32_t obj)
-{
-    return kSyncRegion | (static_cast<Addr>(kind) << 24) |
-           (static_cast<Addr>(obj) * 64);
-}
-
-Addr
-privStreamBase(uint32_t gsi, uint32_t tid)
-{
-    return (static_cast<Addr>(0x100 + gsi) << 36) |
-           (static_cast<Addr>(tid) << 30);
-}
-
-Addr
-sharedStreamBase(uint32_t gsi)
-{
-    return static_cast<Addr>(0x800 + gsi) << 36;
-}
 
 } // namespace
 
@@ -46,6 +22,7 @@ ExecutionEngine::ExecutionEngine(const Program &prog_,
 {
     if (cfg.numThreads < 1)
         fatal("ExecutionEngine: numThreads must be >= 1");
+    LP_ASSERT(prog->derivedReady());
     cursors.resize(cfg.numThreads);
     for (uint32_t t = 0; t < cfg.numThreads; ++t) {
         Cursor &c = cursors[t];
@@ -54,6 +31,9 @@ ExecutionEngine::ExecutionEngine(const Program &prog_,
         c.streamPos.resize(prog->kernels.size());
         for (size_t k = 0; k < prog->kernels.size(); ++k)
             c.streamPos[k].assign(prog->kernels[k].streams.size(), 0);
+        c.stackBase = kStackRegion | (static_cast<Addr>(t) << 20);
+        c.privTidBits = static_cast<Addr>(t) << 30;
+        refreshKernelCache(c);
     }
     barriers.resize(prog->runList.size());
     chunks.resize(prog->runList.size());
@@ -61,47 +41,22 @@ ExecutionEngine::ExecutionEngine(const Program &prog_,
     blockCounts.assign(prog->blocks.size(), 0);
 }
 
+void
+ExecutionEngine::refreshKernelCache(Cursor &c)
+{
+    // Clamp so the cache stays valid after the final KernelExit; the
+    // kernel-exit block is emitted after runPos has advanced, and
+    // entry/exit blocks carry no streams, so the clamped kernel is
+    // never used for stream selection in that case.
+    c.kidx = prog->runList[std::min<uint32_t>(
+        c.runPos, static_cast<uint32_t>(prog->runList.size() - 1))];
+    c.kern = &prog->kernels[c.kidx];
+}
+
 const LoweredKernel &
 ExecutionEngine::curKernel(const Cursor &c) const
 {
-    return prog->kernels[prog->runList[c.runPos]];
-}
-
-bool
-ExecutionEngine::runnable(uint32_t tid) const
-{
-    const Cursor &c = cursors[tid];
-    return c.runnable && c.st != St::Done;
-}
-
-bool
-ExecutionEngine::finished(uint32_t tid) const
-{
-    return cursors[tid].st == St::Done;
-}
-
-bool
-ExecutionEngine::allFinished() const
-{
-    return finishedCount == cfg.numThreads;
-}
-
-const std::vector<MemRef> &
-ExecutionEngine::memRefs(uint32_t tid) const
-{
-    return cursors[tid].memRefs;
-}
-
-uint64_t
-ExecutionEngine::icount(uint32_t tid) const
-{
-    return cursors[tid].icount;
-}
-
-uint64_t
-ExecutionEngine::filteredIcount(uint32_t tid) const
-{
-    return cursors[tid].filteredIcount;
+    return *c.kern;
 }
 
 uint64_t
@@ -140,11 +95,13 @@ ExecutionEngine::blockThread(uint32_t tid, WaitKind kind, uint32_t obj)
 void
 ExecutionEngine::wakeWaiters(WaitKind kind, uint32_t obj)
 {
-    for (auto &c : cursors) {
+    for (uint32_t t = 0; t < cfg.numThreads; ++t) {
+        Cursor &c = cursors[t];
         if (!c.runnable && c.waitKind == kind && c.waitObj == obj) {
             c.runnable = true;
             c.waitKind = WaitKind::None;
             c.emittedFutex = false;
+            wokenThisStep.push_back(t);
         }
     }
 }
@@ -221,11 +178,11 @@ ExecutionEngine::genBlockAddresses(uint32_t tid, const BasicBlock &bb)
 {
     Cursor &c = cursors[tid];
     c.memRefs.clear();
-    const RuntimeBlocks &rt = prog->runtime;
 
     // Synchronization-library blocks touch the relevant sync object's
     // cache line, producing real coherence traffic in the timing model.
     if (bb.image != ImageId::Main) {
+        const RuntimeBlocks &rt = prog->runtime;
         uint32_t kind = 0, obj = 0;
         BlockId id = bb.id;
         if (id == rt.barrierEnter || id == rt.barrierExit) {
@@ -248,62 +205,44 @@ ExecutionEngine::genBlockAddresses(uint32_t tid, const BasicBlock &bb)
             kind = 5;
             obj = prog->runList[c.runPos];
         }
-        for (size_t i = 0; i < bb.instrs.size(); ++i) {
-            const InstrDesc &d = bb.instrs[i];
-            if (!isMemOp(d.op))
-                continue;
-            c.memRefs.push_back({syncAddr(kind, obj),
-                                 static_cast<uint16_t>(i),
-                                 isMemWrite(d.op)});
-        }
+        const Addr a = syncAddr(kind, obj);
+        for (const BlockMemOp &op : bb.memOps)
+            c.memRefs.push_back({a, op.index, op.isWrite});
         return;
     }
 
-    // The kernel-exit block is emitted after runPos has advanced;
-    // clamp so the lookup stays valid at program end. Entry/exit
-    // blocks carry no streams, so the clamped index is never used for
-    // stream selection in that case.
-    const uint32_t run_pos = std::min<uint32_t>(
-        c.runPos, static_cast<uint32_t>(prog->runList.size() - 1));
-    const uint32_t kidx = prog->runList[run_pos];
-    const LoweredKernel &k = prog->kernels[kidx];
-    for (size_t i = 0; i < bb.instrs.size(); ++i) {
-        const InstrDesc &d = bb.instrs[i];
-        if (!isMemOp(d.op))
-            continue;
+    // Main-image blocks: walk the derived memory-op table against the
+    // cursor's cached kernel and the build-time stream plans — pure
+    // table lookups and arithmetic, no per-access recomputation.
+    const LoweredKernel &k = *c.kern;
+    std::vector<uint64_t> &spos = c.streamPos[c.kidx];
+    for (const BlockMemOp &op : bb.memOps) {
         Addr addr;
-        if (d.memStream == kNoStream || d.memStream >= k.streams.size()) {
+        if (op.stream >= k.plans.size()) {
             // Stack/scalar traffic: a small, hot per-thread region.
-            addr = kStackRegion | (static_cast<Addr>(tid) << 20) |
-                   ((c.stackCursor * 8) & 0xfff);
+            addr = c.stackBase | ((c.stackCursor * 8) & 0xfff);
             ++c.stackCursor;
         } else {
-            const MemStream &s = k.streams[d.memStream];
-            const uint32_t gsi = kidx * 16 + d.memStream;
-            const uint64_t stride = std::max<uint32_t>(1, s.strideBytes);
-            const uint64_t footprint = std::max<uint64_t>(64,
-                                                          s.footprintBytes);
+            const StreamPlan &p = k.plans[op.stream];
             uint64_t pos;
-            if (s.shared) {
+            if (p.shared) {
                 // Iteration-tied access: the data an iteration touches
                 // is the same no matter which thread executes it.
                 pos = c.iterCur * 64 + c.iterAccessCursor;
                 ++c.iterAccessCursor;
-                if (s.jumpProb > 0.0 && c.addrRng.nextBool(s.jumpProb))
-                    pos = c.addrRng.nextBounded(footprint / stride + 1);
-                addr = sharedStreamBase(gsi) +
-                       (pos * stride) % footprint;
+                if (p.jumpProb > 0.0 && c.addrRng.nextBool(p.jumpProb))
+                    pos = c.addrRng.nextBounded(p.jumpBound);
+                addr = p.base + (pos * p.stride) % p.footprint;
             } else {
-                uint64_t &cursor = c.streamPos[kidx][d.memStream];
-                if (s.jumpProb > 0.0 && c.addrRng.nextBool(s.jumpProb))
-                    cursor = c.addrRng.nextBounded(footprint / stride + 1);
+                uint64_t &cursor = spos[op.stream];
+                if (p.jumpProb > 0.0 && c.addrRng.nextBool(p.jumpProb))
+                    cursor = c.addrRng.nextBounded(p.jumpBound);
                 pos = cursor++;
-                addr = privStreamBase(gsi, tid) +
-                       (pos * stride) % footprint;
+                addr = (p.base | c.privTidBits) +
+                       (pos * p.stride) % p.footprint;
             }
         }
-        c.memRefs.push_back({addr, static_cast<uint16_t>(i),
-                             isMemWrite(d.op)});
+        c.memRefs.push_back({addr, op.index, op.isWrite});
     }
 }
 
@@ -311,13 +250,13 @@ StepResult
 ExecutionEngine::emit(uint32_t tid, BlockId block)
 {
     Cursor &c = cursors[tid];
-    const BasicBlock &bb = prog->blocks[block];
     ++blockCounts[block];
-    c.icount += bb.numInstrs();
-    if (bb.image == ImageId::Main)
-        c.filteredIcount += bb.numInstrs();
+    const uint32_t n = prog->instrCounts[block];
+    c.icount += n;
+    if (prog->mainImageFlags[block])
+        c.filteredIcount += n;
     if (cfg.genAddresses)
-        genBlockAddresses(tid, bb);
+        genBlockAddresses(tid, prog->blocks[block]);
     return {StepResult::Kind::Block, block};
 }
 
@@ -455,6 +394,7 @@ ExecutionEngine::step(uint32_t tid)
     LP_ASSERT(tid < cfg.numThreads);
     Cursor &c = cursors[tid];
     const RuntimeBlocks &rt = prog->runtime;
+    wokenThisStep.clear();
     // Default branch direction; decision sites below override it.
     c.branchTaken = true;
 
@@ -635,6 +575,7 @@ ExecutionEngine::step(uint32_t tid)
             bool emit_exit = (tid == 0);
             BlockId exit_block = k.exitBlock;
             ++c.runPos;
+            refreshKernelCache(c);
             c.emittedFutex = false;
             c.waitKind = WaitKind::None;
             if (c.runPos >= prog->runList.size()) {

@@ -79,13 +79,20 @@ class ExecutionEngine
     StepResult step(uint32_t tid);
 
     /** True if the thread can make progress right now. */
-    bool runnable(uint32_t tid) const;
+    bool runnable(uint32_t tid) const
+    {
+        const Cursor &c = cursors[tid];
+        return c.runnable && c.st != St::Done;
+    }
 
     /** True if the thread has completed the whole program. */
-    bool finished(uint32_t tid) const;
+    bool finished(uint32_t tid) const
+    {
+        return cursors[tid].st == St::Done;
+    }
 
     /** True once every thread finished. */
-    bool allFinished() const;
+    bool allFinished() const { return finishedCount == cfg.numThreads; }
 
     uint32_t numThreads() const { return cfg.numThreads; }
     const Program &program() const { return *prog; }
@@ -95,13 +102,30 @@ class ExecutionEngine
      * Memory references of the most recent block returned by step(tid).
      * Only populated when cfg.genAddresses is set.
      */
-    const std::vector<MemRef> &memRefs(uint32_t tid) const;
+    const std::vector<MemRef> &memRefs(uint32_t tid) const
+    {
+        return cursors[tid].memRefs;
+    }
 
     /** Total dynamic instructions executed by a thread so far. */
-    uint64_t icount(uint32_t tid) const;
+    uint64_t icount(uint32_t tid) const { return cursors[tid].icount; }
 
     /** Main-image ("filtered") instructions executed by a thread. */
-    uint64_t filteredIcount(uint32_t tid) const;
+    uint64_t filteredIcount(uint32_t tid) const
+    {
+        return cursors[tid].filteredIcount;
+    }
+
+    /**
+     * Threads whose runnable flag flipped from false to true during
+     * the most recent step() call. Event-driven schedulers use this to
+     * re-queue sleepers without scanning every thread; the list is
+     * transient (cleared at the start of the next step).
+     */
+    const std::vector<uint32_t> &wokenThreads() const
+    {
+        return wokenThisStep;
+    }
 
     /** Sum of icount over threads. */
     uint64_t globalIcount() const;
@@ -200,6 +224,17 @@ class ExecutionEngine
     {
         St st = St::KernelEntry;
         uint32_t runPos = 0;
+        /**
+         * Cached kernel of runPos (clamped to the last run-list entry
+         * once the thread is Done) and its kernel index. Refreshed by
+         * refreshKernelCache() whenever runPos changes; valid because
+         * the Program outlives the engine and is never mutated.
+         */
+        const LoweredKernel *kern = nullptr;
+        uint32_t kidx = 0;
+        /** Precomputed per-thread address bits (see addr_space.hh). */
+        Addr stackBase = 0;
+        Addr privTidBits = 0;
         uint64_t iterCur = 0;
         uint64_t iterEnd = 0;
         bool participated = false;
@@ -273,6 +308,9 @@ class ExecutionEngine
 
     const LoweredKernel &curKernel(const Cursor &c) const;
 
+    /** Recompute a cursor's cached kernel pointer from its runPos. */
+    void refreshKernelCache(Cursor &c);
+
     const Program *prog;
     ExecConfig cfg;
     SyncArbiter *arbiter;
@@ -281,7 +319,14 @@ class ExecutionEngine
     std::vector<BarrierState> barriers; ///< indexed by runPos
     std::vector<ChunkState> chunks;     ///< indexed by runPos
     std::vector<LockState> locks;
-    std::vector<uint64_t> blockCounts;  ///< global per-block exec counts
+    /**
+     * Global per-block exec counts. Indexed directly by BlockId: ids
+     * are dense 0..numBlocks-1 (Program::validate asserts it), so no
+     * bounds pattern is needed at the call sites.
+     */
+    std::vector<uint64_t> blockCounts;
+    /** Threads woken by the step in progress (see wokenThreads()). */
+    std::vector<uint32_t> wokenThisStep;
     uint32_t finishedCount = 0;
 };
 

@@ -182,6 +182,9 @@ ExecutionEngine::load(std::istream &is, const Program &prog,
         c.waitKind = static_cast<WaitKind>(wait_kind);
         c.branchTaken = branch_taken != 0;
         c.emittedFutex = emitted_futex != 0;
+        // The cached kernel pointer derives from runPos, which was
+        // just overwritten.
+        eng.refreshKernelCache(c);
         c.rng.load(is);
         c.addrRng.load(is);
 

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic address-space layout shared by the execution engine's
+ * address generators and the program-build-time stream plans. Regions
+ * are widely separated; the cache models only care about bit patterns,
+ * not about a real mapping.
+ */
+
+#ifndef LOOPPOINT_ISA_ADDR_SPACE_HH
+#define LOOPPOINT_ISA_ADDR_SPACE_HH
+
+#include "isa/program.hh"
+
+namespace looppoint {
+
+/** Synchronization objects (barriers, locks, chunk counters). */
+constexpr Addr kSyncRegion = 0xFull << 40;
+/** Per-thread stack/scalar traffic. */
+constexpr Addr kStackRegion = 0xEull << 40;
+
+/** Cache line of one synchronization object. */
+constexpr Addr
+syncAddr(uint32_t kind, uint32_t obj)
+{
+    return kSyncRegion | (static_cast<Addr>(kind) << 24) |
+           (static_cast<Addr>(obj) * 64);
+}
+
+/**
+ * Base of a private (per-thread) memory stream. `gsi` is the global
+ * stream index (kernel index * 16 + stream id).
+ */
+constexpr Addr
+privStreamBase(uint32_t gsi, uint32_t tid)
+{
+    return (static_cast<Addr>(0x100 + gsi) << 36) |
+           (static_cast<Addr>(tid) << 30);
+}
+
+/** Base of a shared memory stream. */
+constexpr Addr
+sharedStreamBase(uint32_t gsi)
+{
+    return static_cast<Addr>(0x800 + gsi) << 36;
+}
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_ISA_ADDR_SPACE_HH

@@ -1,5 +1,8 @@
 #include "isa/program.hh"
 
+#include <algorithm>
+
+#include "isa/addr_space.hh"
 #include "util/logging.hh"
 
 namespace looppoint {
@@ -87,6 +90,54 @@ Program::estimateWorkInstrs(uint32_t num_threads) const
     return total;
 }
 
+void
+Program::finalizeDerived()
+{
+    // Per-block flat arrays and memory-op tables.
+    instrCounts.resize(blocks.size());
+    mainImageFlags.resize(blocks.size());
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        BasicBlock &bb = blocks[b];
+        instrCounts[b] = static_cast<uint32_t>(bb.instrs.size());
+        mainImageFlags[b] = bb.image == ImageId::Main ? 1 : 0;
+        bb.memOps.clear();
+        for (size_t i = 0; i < bb.instrs.size(); ++i) {
+            const InstrDesc &ins = bb.instrs[i];
+            if (!isMemOp(ins.op))
+                continue;
+            BlockMemOp op;
+            op.index = static_cast<uint16_t>(i);
+            op.stream = ins.memStream;
+            op.isWrite = isMemWrite(ins.op);
+            bb.memOps.push_back(op);
+        }
+    }
+
+    // Per-kernel stream plans: pre-clamp stride/footprint, precompute
+    // the jump-draw bound and the region base so the engine's address
+    // formula is pure arithmetic at run time.
+    for (size_t kidx = 0; kidx < kernels.size(); ++kidx) {
+        LoweredKernel &k = kernels[kidx];
+        k.plans.resize(k.streams.size());
+        for (size_t si = 0; si < k.streams.size(); ++si) {
+            const MemStream &s = k.streams[si];
+            StreamPlan &p = k.plans[si];
+            uint32_t gsi =
+                static_cast<uint32_t>(kidx) * 16 +
+                static_cast<uint32_t>(si);
+            p.stride = std::max<uint64_t>(1, s.strideBytes);
+            p.footprint = std::max<uint64_t>(64, s.footprintBytes);
+            p.jumpBound = p.footprint / p.stride + 1;
+            p.jumpProb = s.jumpProb;
+            p.shared = s.shared;
+            p.base = s.shared ? sharedStreamBase(gsi)
+                              : privStreamBase(gsi, 0);
+        }
+    }
+
+    derived = true;
+}
+
 namespace {
 
 void
@@ -128,6 +179,12 @@ void
 Program::validate() const
 {
     LP_ASSERT(images.size() == kNumImages);
+    // The engine and profilers index flat derived arrays by BlockId:
+    // ids must be dense (checked below) and finalizeDerived() must
+    // have run on the current block/kernel contents.
+    LP_ASSERT(derivedReady());
+    LP_ASSERT(instrCounts.size() == blocks.size());
+    LP_ASSERT(mainImageFlags.size() == blocks.size());
     for (size_t i = 0; i < blocks.size(); ++i) {
         LP_ASSERT(blocks[i].id == i);
         LP_ASSERT(!blocks[i].instrs.empty());

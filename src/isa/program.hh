@@ -55,6 +55,18 @@ struct Image
     Addr base = 0;
 };
 
+/**
+ * One memory-accessing instruction of a block (derived view, built by
+ * Program::finalizeDerived). Lets the per-block address generator walk
+ * only the memory ops instead of re-scanning every instruction.
+ */
+struct BlockMemOp
+{
+    uint16_t index = 0;          ///< instruction index within the block
+    uint8_t stream = 0xff;       ///< kNoStream when stack/scalar
+    bool isWrite = false;
+};
+
 /** A single-entry single-exit static code block. */
 struct BasicBlock
 {
@@ -63,6 +75,8 @@ struct BasicBlock
     ImageId image = ImageId::Main;
     uint32_t routine = 0;
     std::vector<InstrDesc> instrs;
+    /** Derived: the memory ops of `instrs`, in instruction order. */
+    std::vector<BlockMemOp> memOps;
 
     size_t numInstrs() const { return instrs.size(); }
     /** True when the final instruction is a control transfer. */
@@ -149,6 +163,22 @@ struct SyncUse
 };
 
 /**
+ * Address-generation plan of one memory stream (derived view, built by
+ * Program::finalizeDerived). Precomputes everything the engine's
+ * per-access formula needs — clamped stride/footprint, the jump-draw
+ * bound, and the region base — so address generation is a table walk.
+ */
+struct StreamPlan
+{
+    Addr base = 0;          ///< shared base, or the tid==0 private base
+    uint64_t stride = 1;    ///< max(1, strideBytes)
+    uint64_t footprint = 64; ///< max(64, footprintBytes)
+    uint64_t jumpBound = 0; ///< footprint / stride + 1
+    double jumpProb = 0.0;
+    bool shared = false;
+};
+
+/**
  * A fully lowered parallel region. The engine executes:
  *
  *   [masterPrologue (thread 0 only)]
@@ -180,6 +210,8 @@ struct LoweredKernel
 
     /** Memory streams referenced by this kernel's blocks. */
     std::vector<MemStream> streams;
+    /** Derived: one address-generation plan per stream. */
+    std::vector<StreamPlan> plans;
 
     SyncUse sync;
 };
@@ -225,6 +257,14 @@ class Program
 
     std::string name;
 
+    /**
+     * Derived flat per-block arrays (finalizeDerived), indexed by the
+     * dense BlockId. The hot paths (engine emit, slice profiling) read
+     * these instead of chasing into the BasicBlock structs.
+     */
+    std::vector<uint32_t> instrCounts;
+    std::vector<uint8_t> mainImageFlags;
+
     const BasicBlock &block(BlockId id) const { return blocks[id]; }
     size_t numBlocks() const { return blocks.size(); }
 
@@ -234,6 +274,17 @@ class Program
     {
         return blocks[id].image == ImageId::Main;
     }
+
+    /**
+     * Build the derived views: per-block memory-op tables, per-kernel
+     * stream plans, and the flat instruction-count / main-image
+     * arrays. ProgramBuilder::build() calls this; a hand-assembled
+     * Program must call it before execution (validate() checks).
+     */
+    void finalizeDerived();
+
+    /** True once finalizeDerived() has run on the current contents. */
+    bool derivedReady() const { return derived; }
 
     /** Total static instructions across a kernel's body tree. */
     uint64_t bodyInstrCount(const LoweredKernel &k) const;
@@ -250,6 +301,8 @@ class Program
 
   private:
     uint64_t bodyItemInstrCount(const BodyItem &item) const;
+
+    bool derived = false;
 };
 
 } // namespace looppoint

@@ -417,6 +417,7 @@ ProgramBuilder::build()
     if (prog.runList.empty())
         fatal("program '%s' has an empty run list; call runKernels()",
               prog.name.c_str());
+    prog.finalizeDerived();
     prog.validate();
     return std::move(prog);
 }

@@ -17,10 +17,12 @@ buildPcIndex(const Program &prog)
 SliceProfiler::SliceProfiler(const Program &prog_,
                              std::vector<BlockId> marker_blocks,
                              uint64_t slice_size_global,
-                             uint32_t num_threads, bool filter_sync)
+                             uint32_t num_threads, bool filter_sync,
+                             bool reference_accumulation)
     : prog(&prog_), isMarker(prog_.numBlocks(), 0),
       markerCounts(prog_.numBlocks(), 0), sliceTarget(slice_size_global),
-      numThreads(num_threads), filterSync(filter_sync)
+      numThreads(num_threads), filterSync(filter_sync),
+      referenceAccum(reference_accumulation)
 {
     if (slice_size_global == 0)
         fatal("SliceProfiler: slice size must be >= 1");
@@ -30,6 +32,13 @@ SliceProfiler::SliceProfiler(const Program &prog_,
             fatal("marker block %u is not in the main image "
                   "(synchronization loops cannot bound regions)", b);
         isMarker[b] = 1;
+    }
+    if (!referenceAccum) {
+        const size_t cells =
+            static_cast<size_t>(numThreads) * prog->numBlocks();
+        dense.assign(cells, 0);
+        denseEpoch.assign(cells, 0);
+        touched.resize(numThreads);
     }
     beginSlice(Marker{0, 0}); // program start sentinel
 }
@@ -42,11 +51,27 @@ SliceProfiler::beginSlice(const Marker &start)
     current.start = start;
     current.perThread.assign(numThreads, ThreadBbv{});
     current.threadFilteredIcount.assign(numThreads, 0);
+    ++epoch; // invalidates every dense cell in O(1)
 }
 
 void
 SliceProfiler::closeSlice(const Marker &end)
 {
+    if (!referenceAccum) {
+        // Materialize the hash maps from the dense counters. Insertion
+        // follows first-touch order, which reproduces the incremental
+        // maps exactly — same contents AND same iteration order, so
+        // downstream floating-point reductions sum in the same order.
+        for (uint32_t tid = 0; tid < numThreads; ++tid) {
+            auto &counts = current.perThread[tid].counts;
+            const uint64_t *row =
+                dense.data() +
+                static_cast<size_t>(tid) * prog->numBlocks();
+            for (BlockId b : touched[tid])
+                counts[b] = row[b];
+            touched[tid].clear();
+        }
+    }
     current.end = end;
     sliceList.push_back(std::move(current));
 }
@@ -56,28 +81,41 @@ SliceProfiler::onBlock(uint32_t tid, BlockId block,
                        const ExecutionEngine &engine)
 {
     (void)engine;
-    LP_ASSERT(!finalized);
-    LP_ASSERT(tid < numThreads);
-    const BasicBlock &bb = prog->blocks[block];
+    // No per-block bounds asserts here: BlockIds are dense and tid
+    // ranges are validated once at construction / program load.
+    const uint32_t instrs = prog->instrCounts[block];
 
     if (isMarker[block]) {
         // Boundary check happens *before* this execution is counted,
         // so the marker execution itself belongs to the next slice.
         if (current.filteredIcount >= sliceTarget) {
-            Marker boundary{bb.pc, markerCounts[block] + 1};
+            Marker boundary{prog->blocks[block].pc,
+                            markerCounts[block] + 1};
             closeSlice(boundary);
             beginSlice(boundary);
         }
         ++markerCounts[block];
     }
 
-    current.totalIcount += bb.numInstrs();
-    if (!filterSync || bb.image == ImageId::Main) {
+    current.totalIcount += instrs;
+    if (!filterSync || prog->mainImageFlags[block]) {
         // Spin and synchronization-library code is executed but not
         // counted ("execute but don't count", Section II).
-        current.perThread[tid].add(block);
-        current.threadFilteredIcount[tid] += bb.numInstrs();
-        current.filteredIcount += bb.numInstrs();
+        if (referenceAccum) {
+            current.perThread[tid].add(block);
+        } else {
+            const size_t idx =
+                static_cast<size_t>(tid) * prog->numBlocks() + block;
+            if (denseEpoch[idx] != epoch) {
+                denseEpoch[idx] = epoch;
+                dense[idx] = 1;
+                touched[tid].push_back(block);
+            } else {
+                ++dense[idx];
+            }
+        }
+        current.threadFilteredIcount[tid] += instrs;
+        current.filteredIcount += instrs;
     }
 }
 

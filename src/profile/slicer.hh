@@ -33,11 +33,18 @@ class SliceProfiler : public ExecListener
      * @param slice_size_global target slice size in global filtered
      *        instructions
      * @param num_threads thread count of the profiled execution
+     * @param reference_accumulation accumulate BBVs directly into the
+     *        per-slice hash maps instead of the flat per-thread dense
+     *        arrays. The two modes produce identical slices (including
+     *        map iteration order, which downstream feature projection
+     *        depends on); the reference mode exists as the oracle for
+     *        the equivalence tests.
      */
     SliceProfiler(const Program &prog,
                   std::vector<BlockId> marker_blocks,
                   uint64_t slice_size_global, uint32_t num_threads,
-                  bool filter_sync = true);
+                  bool filter_sync = true,
+                  bool reference_accumulation = false);
 
     void onBlock(uint32_t tid, BlockId block,
                  const ExecutionEngine &engine) override;
@@ -63,6 +70,21 @@ class SliceProfiler : public ExecListener
     uint64_t sliceTarget;
     uint32_t numThreads;
     bool filterSync;
+    bool referenceAccum;
+
+    /**
+     * Fast accumulation state: per-(thread, block) counts in one flat
+     * array of numThreads x numBlocks, valid only where the epoch
+     * stamp matches the current slice's epoch — starting a slice is a
+     * single counter bump, not an O(blocks) clear. `touched` records
+     * each thread's blocks in first-touch order; closeSlice() replays
+     * it to materialize the per-slice hash maps with exactly the
+     * insertion order direct accumulation would have produced.
+     */
+    std::vector<uint64_t> dense;
+    std::vector<uint64_t> denseEpoch;
+    std::vector<std::vector<BlockId>> touched;
+    uint64_t epoch = 0;
 
     SliceRecord current;
     std::vector<SliceRecord> sliceList;

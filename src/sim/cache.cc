@@ -1,8 +1,27 @@
 #include "sim/cache.hh"
 
+#include <cstring>
+#include <type_traits>
+
 #include "util/logging.hh"
 
 namespace looppoint {
+
+namespace {
+
+bool
+isPowerOfTwo(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+uint32_t
+log2u32(uint32_t v)
+{
+    return static_cast<uint32_t>(__builtin_ctz(v));
+}
+
+} // namespace
 
 Cache::Cache(const CacheConfig &cfg_)
     : cfg(cfg_)
@@ -11,65 +30,78 @@ Cache::Cache(const CacheConfig &cfg_)
     LP_ASSERT(cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) == 0);
     numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
     LP_ASSERT(numSets > 0);
+    // Shift/mask indexing requires power-of-two geometry (true for
+    // every Table I level and any sensible cache).
+    LP_ASSERT(isPowerOfTwo(cfg.lineBytes));
+    LP_ASSERT(isPowerOfTwo(numSets));
+    lineShift = log2u32(cfg.lineBytes);
+    setMask = numSets - 1;
+    static_assert(std::is_trivially_copyable_v<Line>,
+                  "recency reordering uses memmove");
     lines.resize(static_cast<size_t>(numSets) * cfg.assoc);
 }
 
 bool
-Cache::access(Addr addr, uint32_t core, bool is_write, Addr *evicted)
+Cache::access(Addr addr, uint32_t core, bool is_write,
+              std::optional<Addr> *evicted)
 {
     (void)is_write;
     ++cacheStats.accesses;
     const uint64_t line = lineAddr(addr);
-    const uint32_t set = setIndex(line);
-    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
-    Line *victim = base;
-    for (uint32_t w = 0; w < cfg.assoc; ++w) {
-        Line &l = base[w];
-        if (l.valid && l.tag == line) {
-            l.lru = ++lruClock;
-            l.sharerMask |= (1ull << core);
+    Line *base =
+        &lines[static_cast<size_t>(setIndex(line)) * cfg.assoc];
+
+    // MRU fast path: recency order makes the common temporal-locality
+    // hit a single compare.
+    if (base[0].valid && base[0].tag == line) {
+        base[0].lru = ++lruClock;
+        base[0].sharerMask |= (1ull << core);
+        return true;
+    }
+    uint32_t w = 1;
+    for (; w < cfg.assoc && base[w].valid; ++w) {
+        if (base[w].tag == line) {
+            Line hit = base[w];
+            hit.lru = ++lruClock;
+            hit.sharerMask |= (1ull << core);
+            std::memmove(base + 1, base, w * sizeof(Line));
+            base[0] = hit;
             return true;
         }
-        if (!l.valid) {
-            victim = &l;
-        } else if (victim->valid && l.lru < victim->lru) {
-            victim = &l;
-        }
     }
+    // Miss. `w` is the insertion slot: the first invalid way, or one
+    // past the end. A full set's LRU line is the last way — the victim.
     ++cacheStats.misses;
-    if (victim->valid && evicted)
-        *evicted = victim->tag * cfg.lineBytes;
-    victim->valid = true;
-    victim->tag = line;
-    victim->lru = ++lruClock;
-    victim->sharerMask = (1ull << core);
+    if (w == cfg.assoc) {
+        --w;
+        if (evicted)
+            *evicted = base[w].tag << lineShift;
+    }
+    std::memmove(base + 1, base, w * sizeof(Line));
+    base[0] = Line{line, ++lruClock, 1ull << core, true};
     return false;
 }
 
-Addr
+std::optional<Addr>
 Cache::fill(Addr addr, uint32_t core)
 {
     const uint64_t line = lineAddr(addr);
-    const uint32_t set = setIndex(line);
-    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
-    Line *victim = base;
-    for (uint32_t w = 0; w < cfg.assoc; ++w) {
-        Line &l = base[w];
-        if (l.valid && l.tag == line) {
-            l.sharerMask |= (1ull << core);
-            return 0; // already resident; don't touch LRU
-        }
-        if (!l.valid) {
-            victim = &l;
-        } else if (victim->valid && l.lru < victim->lru) {
-            victim = &l;
+    Line *base =
+        &lines[static_cast<size_t>(setIndex(line)) * cfg.assoc];
+    uint32_t w = 0;
+    for (; w < cfg.assoc && base[w].valid; ++w) {
+        if (base[w].tag == line) {
+            base[w].sharerMask |= (1ull << core);
+            return std::nullopt; // already resident; don't touch LRU
         }
     }
-    Addr evicted = victim->valid ? victim->tag * cfg.lineBytes : 0;
-    victim->valid = true;
-    victim->tag = line;
-    victim->lru = ++lruClock;
-    victim->sharerMask = (1ull << core);
+    std::optional<Addr> evicted;
+    if (w == cfg.assoc) {
+        --w;
+        evicted = base[w].tag << lineShift;
+    }
+    std::memmove(base + 1, base, w * sizeof(Line));
+    base[0] = Line{line, ++lruClock, 1ull << core, true};
     return evicted;
 }
 
@@ -77,11 +109,14 @@ bool
 Cache::invalidate(Addr addr)
 {
     const uint64_t line = lineAddr(addr);
-    const uint32_t set = setIndex(line);
-    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
-    for (uint32_t w = 0; w < cfg.assoc; ++w) {
-        if (base[w].valid && base[w].tag == line) {
-            base[w].valid = false;
+    Line *base = set(addr);
+    for (uint32_t w = 0; w < cfg.assoc && base[w].valid; ++w) {
+        if (base[w].tag == line) {
+            // Compact the valid suffix so invalid ways stay at the
+            // tail and relative recency is preserved.
+            std::memmove(base + w, base + w + 1,
+                         (cfg.assoc - 1 - w) * sizeof(Line));
+            base[cfg.assoc - 1] = Line{};
             ++cacheStats.invalidations;
             return true;
         }
@@ -93,10 +128,9 @@ bool
 Cache::contains(Addr addr) const
 {
     const uint64_t line = lineAddr(addr);
-    const uint32_t set = setIndex(line);
-    const Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
-    for (uint32_t w = 0; w < cfg.assoc; ++w)
-        if (base[w].valid && base[w].tag == line)
+    const Line *base = set(addr);
+    for (uint32_t w = 0; w < cfg.assoc && base[w].valid; ++w)
+        if (base[w].tag == line)
             return true;
     return false;
 }
@@ -105,10 +139,9 @@ uint64_t
 Cache::sharers(Addr addr) const
 {
     const uint64_t line = lineAddr(addr);
-    const uint32_t set = setIndex(line);
-    const Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
-    for (uint32_t w = 0; w < cfg.assoc; ++w)
-        if (base[w].valid && base[w].tag == line)
+    const Line *base = set(addr);
+    for (uint32_t w = 0; w < cfg.assoc && base[w].valid; ++w)
+        if (base[w].tag == line)
             return base[w].sharerMask;
     return 0;
 }
@@ -117,10 +150,9 @@ void
 Cache::removeSharer(Addr addr, uint32_t core)
 {
     const uint64_t line = lineAddr(addr);
-    const uint32_t set = setIndex(line);
-    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
-    for (uint32_t w = 0; w < cfg.assoc; ++w)
-        if (base[w].valid && base[w].tag == line)
+    Line *base = set(addr);
+    for (uint32_t w = 0; w < cfg.assoc && base[w].valid; ++w)
+        if (base[w].tag == line)
             base[w].sharerMask &= ~(1ull << core);
 }
 
@@ -133,6 +165,14 @@ CacheHierarchy::CacheHierarchy(const SimConfig &cfg_, uint32_t num_cores)
         l1i.emplace_back(cfg.l1i);
         l2.emplace_back(cfg.l2);
     }
+    dataLat[0] = cfg.l1d.latency;
+    dataLat[1] = dataLat[0] + cfg.l2.latency;
+    dataLat[2] = dataLat[1] + cfg.l3.latency;
+    dataLat[3] = dataLat[2] + cfg.memLatency;
+    fetchLat[0] = cfg.l1i.latency;
+    fetchLat[1] = fetchLat[0] + cfg.l2.latency;
+    fetchLat[2] = fetchLat[1] + cfg.l3.latency;
+    fetchLat[3] = fetchLat[2] + cfg.memLatency;
 }
 
 void
@@ -164,27 +204,24 @@ CacheHierarchy::backInvalidate(Addr addr)
 MemAccessResult
 CacheHierarchy::access(uint32_t core, Addr addr, bool is_write)
 {
-    LP_ASSERT(core < numCores);
+    // No per-access bounds assert: core ids come from CoreModel
+    // instances constructed against this hierarchy's core count.
     MemAccessResult r;
-    Addr evicted = 0;
+    std::optional<Addr> evicted;
 
     if (l1d[core].access(addr, core, is_write, nullptr)) {
-        r.latency = cfg.l1d.latency;
         r.hitLevel = 1;
     } else if (l2[core].access(addr, core, is_write, nullptr)) {
-        r.latency = cfg.l1d.latency + cfg.l2.latency;
         r.hitLevel = 2;
     } else if (l3.access(addr, core, is_write, &evicted)) {
-        r.latency = cfg.l1d.latency + cfg.l2.latency + cfg.l3.latency;
         r.hitLevel = 3;
     } else {
-        r.latency = cfg.l1d.latency + cfg.l2.latency + cfg.l3.latency +
-                    cfg.memLatency;
         r.hitLevel = 4;
         ++memCount;
-        if (evicted != 0)
-            backInvalidate(evicted);
+        if (evicted)
+            backInvalidate(*evicted);
     }
+    r.latency = dataLat[r.hitLevel - 1];
     if (is_write)
         invalidateOthers(core, addr);
 
@@ -193,9 +230,8 @@ CacheHierarchy::access(uint32_t core, Addr addr, bool is_write)
     if (cfg.prefetchDegree > 0 && r.hitLevel >= 3 && !is_write) {
         for (uint32_t d = 1; d <= cfg.prefetchDegree; ++d) {
             Addr pf = addr + static_cast<Addr>(d) * cfg.l2.lineBytes;
-            Addr evicted_l3 = l3.fill(pf, core);
-            if (evicted_l3 != 0)
-                backInvalidate(evicted_l3);
+            if (auto evicted_l3 = l3.fill(pf, core))
+                backInvalidate(*evicted_l3);
             l2[core].fill(pf, core);
             ++prefetchCount;
         }
@@ -206,26 +242,21 @@ CacheHierarchy::access(uint32_t core, Addr addr, bool is_write)
 MemAccessResult
 CacheHierarchy::fetch(uint32_t core, Addr pc)
 {
-    LP_ASSERT(core < numCores);
     MemAccessResult r;
-    Addr evicted = 0;
+    std::optional<Addr> evicted;
     if (l1i[core].access(pc, core, false, nullptr)) {
-        r.latency = cfg.l1i.latency;
         r.hitLevel = 1;
     } else if (l2[core].access(pc, core, false, nullptr)) {
-        r.latency = cfg.l1i.latency + cfg.l2.latency;
         r.hitLevel = 2;
     } else if (l3.access(pc, core, false, &evicted)) {
-        r.latency = cfg.l1i.latency + cfg.l2.latency + cfg.l3.latency;
         r.hitLevel = 3;
     } else {
-        r.latency = cfg.l1i.latency + cfg.l2.latency + cfg.l3.latency +
-                    cfg.memLatency;
         r.hitLevel = 4;
         ++memCount;
-        if (evicted != 0)
-            backInvalidate(evicted);
+        if (evicted)
+            backInvalidate(*evicted);
     }
+    r.latency = fetchLat[r.hitLevel - 1];
     return r;
 }
 

@@ -4,12 +4,21 @@
  * Table I: private L1-I/L1-D/L2 per core, one shared inclusive L3,
  * LRU replacement, write-invalidate coherence between the private
  * levels via the L3 sharer vector.
+ *
+ * Hot-path design: line and set derivation use precomputed shift/mask
+ * (all geometries are powers of two, asserted at construction), and
+ * each set keeps its ways in recency order — most recently used first,
+ * invalid ways at the tail. The common temporal-locality hit is a
+ * single compare against way 0, the victim of a full set is always the
+ * last way, and invalid-way search never scans past the valid prefix.
+ * The ordering is observationally identical to classic timestamp LRU.
  */
 
 #ifndef LOOPPOINT_SIM_CACHE_HH
 #define LOOPPOINT_SIM_CACHE_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "isa/program.hh"
@@ -46,16 +55,21 @@ class Cache
     /**
      * Look up and allocate on miss (LRU victim).
      * @param core requesting core (for sharer tracking)
-     * @param evicted set to the victim line address when one exists
+     * @param evicted receives the victim line address when a valid
+     *        line was displaced; left untouched otherwise. An
+     *        engaged optional is unambiguous even for a line at
+     *        address 0.
      * @return true on hit
      */
-    bool access(Addr addr, uint32_t core, bool is_write, Addr *evicted);
+    bool access(Addr addr, uint32_t core, bool is_write,
+                std::optional<Addr> *evicted);
 
     /**
      * Insert a line without touching demand statistics (prefetch
-     * fill). Returns the evicted line address, or 0 if none.
+     * fill). Returns the evicted line address, or nullopt when no
+     * valid line was displaced (including the already-resident case).
      */
-    Addr fill(Addr addr, uint32_t core);
+    std::optional<Addr> fill(Addr addr, uint32_t core);
 
     /** Remove a line if present; returns true if it was. */
     bool invalidate(Addr addr);
@@ -82,15 +96,27 @@ class Cache
         bool valid = false;
     };
 
-    uint64_t lineAddr(Addr addr) const { return addr / cfg.lineBytes; }
+    uint64_t lineAddr(Addr addr) const { return addr >> lineShift; }
     uint32_t setIndex(uint64_t line) const
     {
-        return static_cast<uint32_t>(line % numSets);
+        return static_cast<uint32_t>(line) & setMask;
+    }
+    Line *set(Addr addr)
+    {
+        return &lines[static_cast<size_t>(setIndex(lineAddr(addr))) *
+                      cfg.assoc];
+    }
+    const Line *set(Addr addr) const
+    {
+        return &lines[static_cast<size_t>(setIndex(lineAddr(addr))) *
+                      cfg.assoc];
     }
 
     CacheConfig cfg;
     uint32_t numSets;
-    std::vector<Line> lines; ///< numSets x assoc
+    uint32_t lineShift; ///< log2(lineBytes)
+    uint32_t setMask;   ///< numSets - 1
+    std::vector<Line> lines; ///< numSets x assoc, recency-ordered
     uint64_t lruClock = 0;
     CacheStats cacheStats;
 };
@@ -145,6 +171,9 @@ class CacheHierarchy
     std::vector<Cache> l1i;
     std::vector<Cache> l2;
     Cache l3;
+    /** Cumulative latency per hit level (index hitLevel - 1). */
+    uint32_t dataLat[4];
+    uint32_t fetchLat[4];
     uint64_t memCount = 0;
     uint64_t prefetchCount = 0;
 };

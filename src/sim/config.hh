@@ -68,6 +68,15 @@ struct SimConfig
      */
     uint32_t jobs = 1;
 
+    /**
+     * Use the straightforward scan-based core scheduler instead of the
+     * event-driven heap in detailed mode. Purely a host-side knob: the
+     * two schedulers make bit-identical decisions (the golden-metrics
+     * tests assert it); the reference path exists as the oracle for
+     * those tests and for debugging.
+     */
+    bool referenceScheduler = false;
+
     /** Human-readable Table I-style description. */
     std::string describe() const;
 };

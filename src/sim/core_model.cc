@@ -11,7 +11,10 @@ CoreModel::CoreModel(const SimConfig &cfg_, uint32_t core_id,
     : cfg(cfg_), coreId(core_id), hierarchy(&hierarchy_),
       inOrder(cfg_.coreType == CoreType::InOrder),
       ring(kRing, 0)
-{}
+{
+    for (size_t op = 0; op < kNumOpClasses; ++op)
+        latTable[op] = opLatency(static_cast<OpClass>(op));
+}
 
 uint32_t
 CoreModel::opLatency(OpClass op) const
@@ -41,37 +44,54 @@ CoreModel::executeBlock(const BasicBlock &bb,
         dispatchCycle += static_cast<double>(fetch.latency -
                                              cfg.l1i.latency);
 
+    // Loop-invariant configuration and simulation state live in locals
+    // for the duration of the block: the hierarchy and predictor calls
+    // inside the loop are opaque to the compiler, which would otherwise
+    // reload the members around every call.
     const double width_step = 1.0 / cfg.dispatchWidth;
+    const bool in_order = inOrder;
+    const uint64_t rob_size = cfg.robSize;
+    const uint32_t atomic_extra = cfg.latAtomicExtra;
+    const double mispredict_penalty =
+        static_cast<double>(cfg.branchMispredictPenalty);
+    const InstrDesc *instrs = bb.instrs.data();
+    const size_t num_instrs = bb.instrs.size();
+    const MemRef *ref_data = refs.data();
+    const size_t num_refs = refs.size();
+    uint64_t *ring_data = ring.data();
     size_t ref_cursor = 0;
+    double dispatch_cycle = dispatchCycle;
+    uint64_t max_completion = maxCompletion;
+    uint64_t sequence = seq;
 
-    for (size_t i = 0; i < bb.instrs.size(); ++i) {
-        const InstrDesc &d = bb.instrs[i];
-        double dispatch = dispatchCycle;
+    for (size_t i = 0; i < num_instrs; ++i) {
+        const InstrDesc &d = instrs[i];
+        double dispatch = dispatch_cycle;
 
         // The ROB bounds how far dispatch runs ahead of the oldest
         // incomplete instruction.
-        if (!inOrder && seq >= cfg.robSize) {
-            uint64_t oldest = ring[(seq - cfg.robSize) % kRing];
+        if (!in_order && sequence >= rob_size) {
+            uint64_t oldest = ring_data[(sequence - rob_size) % kRing];
             dispatch = std::max(dispatch, static_cast<double>(oldest));
         }
 
         // Register dependences through the completion ring.
         double ready = dispatch;
-        if (d.srcDist1 && d.srcDist1 <= seq) {
-            uint64_t t = ring[(seq - d.srcDist1) % kRing];
+        if (d.srcDist1 && d.srcDist1 <= sequence) {
+            uint64_t t = ring_data[(sequence - d.srcDist1) % kRing];
             ready = std::max(ready, static_cast<double>(t));
         }
-        if (d.srcDist2 && d.srcDist2 <= seq) {
-            uint64_t t = ring[(seq - d.srcDist2) % kRing];
+        if (d.srcDist2 && d.srcDist2 <= sequence) {
+            uint64_t t = ring_data[(sequence - d.srcDist2) % kRing];
             ready = std::max(ready, static_cast<double>(t));
         }
 
         uint64_t latency;
         if (isMemOp(d.op)) {
             MemRef ref{};
-            if (ref_cursor < refs.size() &&
-                refs[ref_cursor].instrIndex == i) {
-                ref = refs[ref_cursor];
+            if (ref_cursor < num_refs &&
+                ref_data[ref_cursor].instrIndex == i) {
+                ref = ref_data[ref_cursor];
                 ++ref_cursor;
             }
             MemAccessResult mr =
@@ -81,25 +101,25 @@ CoreModel::executeBlock(const BasicBlock &bb,
                 // issue; the cache access happens in the background.
                 latency = 1;
             } else if (d.op == OpClass::AtomicRmw) {
-                latency = mr.latency + cfg.latAtomicExtra;
+                latency = mr.latency + atomic_extra;
             } else {
                 latency = mr.latency;
             }
         } else {
-            latency = opLatency(d.op);
+            latency = latTable[static_cast<size_t>(d.op)];
         }
 
         double completion = ready + static_cast<double>(latency);
-        ring[seq % kRing] = static_cast<uint64_t>(completion);
-        ++seq;
-        maxCompletion = std::max(maxCompletion,
-                                 static_cast<uint64_t>(completion));
+        ring_data[sequence % kRing] = static_cast<uint64_t>(completion);
+        ++sequence;
+        max_completion = std::max(max_completion,
+                                  static_cast<uint64_t>(completion));
 
-        if (inOrder) {
+        if (in_order) {
             // Issue in order: a stalled instruction stalls dispatch.
-            dispatchCycle = std::max(dispatchCycle + width_step, ready);
+            dispatch_cycle = std::max(dispatch_cycle + width_step, ready);
         } else {
-            dispatchCycle = dispatch + width_step;
+            dispatch_cycle = dispatch + width_step;
         }
 
         if (d.op == OpClass::Branch) {
@@ -107,15 +127,16 @@ CoreModel::executeBlock(const BasicBlock &bb,
             bool correct = bp.predictAndTrain(pc, branch_taken);
             if (!correct) {
                 // Redirect: the front end resumes after resolution.
-                dispatchCycle = std::max(
-                    dispatchCycle,
-                    completion +
-                        static_cast<double>(cfg.branchMispredictPenalty));
+                dispatch_cycle = std::max(
+                    dispatch_cycle, completion + mispredict_penalty);
             }
         }
     }
 
-    coreStats.instructions += bb.numInstrs();
+    dispatchCycle = dispatch_cycle;
+    maxCompletion = max_completion;
+    seq = sequence;
+    coreStats.instructions += num_instrs;
 }
 
 void

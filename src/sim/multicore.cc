@@ -56,8 +56,18 @@ MulticoreSim::MulticoreSim(const MulticoreSim &other)
         core.rebindHierarchy(hierarchy);
 }
 
+namespace {
+
+struct NeverStop
+{
+    bool operator()() const { return false; }
+};
+
+} // namespace
+
+template <typename Stop>
 void
-MulticoreSim::fastForward(const std::function<bool()> &stop, bool warm)
+MulticoreSim::fastForwardImpl(Stop &&stop, bool warm)
 {
     // Flow-controlled functional execution, mirroring the profiling
     // schedule. The boundary markers are (PC, count) pairs whose global
@@ -65,7 +75,7 @@ MulticoreSim::fastForward(const std::function<bool()> &stop, bool warm)
     // is equivalent to positioning under the timing schedule.
     const uint64_t quantum = 1000;
     while (!eng.allFinished()) {
-        if (stop && stop())
+        if (stop())
             return;
         bool progressed = false;
         for (uint32_t tid = 0; tid < numThreads; ++tid) {
@@ -82,7 +92,7 @@ MulticoreSim::fastForward(const std::function<bool()> &stop, bool warm)
                                          eng.memRefs(tid),
                                          eng.branchTaken(tid));
                 }
-                if (stop && stop())
+                if (stop())
                     return;
             }
         }
@@ -91,8 +101,171 @@ MulticoreSim::fastForward(const std::function<bool()> &stop, bool warm)
     }
 }
 
+void
+MulticoreSim::fastForward(const std::function<bool()> &stop, bool warm)
+{
+    if (stop)
+        fastForwardImpl([&stop] { return stop(); }, warm);
+    else
+        fastForwardImpl(NeverStop{}, warm);
+}
+
+void
+MulticoreSim::fastForwardUntil(BlockId block, uint64_t count, bool warm)
+{
+    fastForwardImpl(
+        [this, block, count] {
+            return eng.blockExecCount(block) >= count;
+        },
+        warm);
+}
+
+template <typename Stop>
+SimMetrics
+MulticoreSim::runDetailedImpl(Stop &&stop)
+{
+    // Align clocks and reset statistics at the region start.
+    hierarchy.resetStats();
+    for (auto &core : cores) {
+        core.resetTime();
+        core.resetStats();
+    }
+    const uint64_t icount_base = eng.globalIcount();
+    const uint64_t filtered_base = eng.globalFilteredIcount();
+
+    // Event queue of runnable threads, keyed on (coreTime, tid) packed
+    // into one uint64: the min element is the thread the reference
+    // scheduler's scan would pick (lowest time, ties to lowest tid).
+    // Entries never go stale: an enqueued core's time changes only when
+    // it is popped and stepped, and sleeping cores leave the queue
+    // until a step's woken-thread list readmits them.
+    std::vector<char> asleep(numThreads, 0);
+    std::vector<uint64_t> heap;
+    heap.reserve(numThreads);
+    auto push = [&](uint32_t tid) {
+        const uint64_t t = cores[tid].time();
+        LP_ASSERT(t < (1ull << 56));
+        heap.push_back((t << 8) | tid);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+    };
+    // Restore the min-heap property after heap[0] changed: cheaper
+    // than a pop+push pair for the common case where the stepped core
+    // stays near the top.
+    auto siftDownRoot = [&] {
+        const size_t n = heap.size();
+        const uint64_t v = heap[0];
+        size_t i = 0;
+        for (;;) {
+            size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && heap[child + 1] < heap[child])
+                ++child;
+            if (heap[child] >= v)
+                break;
+            heap[i] = heap[child];
+            i = child;
+        }
+        heap[i] = v;
+    };
+    // Threads may already be blocked or finished on entry (region
+    // simulation resumes from mid-execution checkpoints).
+    for (uint32_t tid = 0; tid < numThreads; ++tid) {
+        if (eng.finished(tid))
+            continue;
+        if (!eng.runnable(tid)) {
+            asleep[tid] = 1;
+            continue;
+        }
+        push(tid);
+    }
+
+    bool done = false;
+    while (!done) {
+        if (heap.empty()) {
+            if (eng.allFinished())
+                break;
+            // Everyone is asleep or finished: wake the runnable ones
+            // (a prior step may have released them).
+            bool woke = false;
+            for (uint32_t tid = 0; tid < numThreads; ++tid) {
+                if (asleep[tid] && eng.runnable(tid)) {
+                    asleep[tid] = 0;
+                    push(tid);
+                    woke = true;
+                }
+            }
+            if (!woke)
+                panic("MulticoreSim: deadlock in detailed mode");
+            continue;
+        }
+
+        // The heap minimum is the thread to step (lowest time, ties to
+        // lowest tid); peek without popping.
+        const uint32_t best = static_cast<uint32_t>(heap[0] & 0xff);
+
+        StepResult r = eng.step(best);
+        switch (r.kind) {
+          case StepResult::Kind::Block: {
+            cores[best].executeBlock(prog->blocks[r.block],
+                                     eng.memRefs(best),
+                                     eng.branchTaken(best));
+            const uint64_t now = cores[best].time();
+            LP_ASSERT(now < (1ull << 56));
+            heap[0] = (now << 8) | best;
+            siftDownRoot();
+            // Wake threads this step released; they resume at the
+            // waker's current time.
+            if (!eng.wokenThreads().empty()) {
+                for (uint32_t tid : eng.wokenThreads()) {
+                    if (asleep[tid]) {
+                        asleep[tid] = 0;
+                        cores[tid].advanceTo(now);
+                        push(tid);
+                    }
+                }
+            }
+            if (stop())
+                done = true;
+            break;
+          }
+          case StepResult::Kind::Blocked:
+          case StepResult::Kind::Finished:
+            if (r.kind == StepResult::Kind::Blocked)
+                asleep[best] = 1;
+            heap[0] = heap.back();
+            heap.pop_back();
+            if (!heap.empty())
+                siftDownRoot();
+            break;
+        }
+    }
+    return collectMetrics(icount_base, filtered_base);
+}
+
 SimMetrics
 MulticoreSim::runDetailed(const std::function<bool()> &stop)
+{
+    if (simCfg.referenceScheduler)
+        return runDetailedReference(stop);
+    if (stop)
+        return runDetailedImpl([&stop] { return stop(); });
+    return runDetailedImpl(NeverStop{});
+}
+
+SimMetrics
+MulticoreSim::runDetailedUntil(BlockId block, uint64_t count)
+{
+    auto at_end = [this, block, count] {
+        return eng.blockExecCount(block) >= count;
+    };
+    if (simCfg.referenceScheduler)
+        return runDetailedReference(at_end);
+    return runDetailedImpl(at_end);
+}
+
+SimMetrics
+MulticoreSim::runDetailedReference(const std::function<bool()> &stop)
 {
     // Align clocks and reset statistics at the region start.
     hierarchy.resetStats();
@@ -165,7 +338,13 @@ MulticoreSim::runDetailed(const std::function<bool()> &stop)
             break;
         }
     }
+    return collectMetrics(icount_base, filtered_base);
+}
 
+SimMetrics
+MulticoreSim::collectMetrics(uint64_t icount_base,
+                             uint64_t filtered_base) const
+{
     SimMetrics m;
     for (uint32_t tid = 0; tid < numThreads; ++tid) {
         m.cycles = std::max({m.cycles, cores[tid].time(),
@@ -228,19 +407,12 @@ MulticoreSim::runRegion(Addr start_pc, uint64_t start_count,
     // "after the n-th" is off by exactly one marker block (a few
     // instructions). Both region ends use the same convention, so the
     // regions still tile the execution exactly.
-    if (start_pc != 0 && start_count > 0) {
-        auto at_start = [&] {
-            return eng.blockExecCount(start_block) >= start_count;
-        };
-        fastForward(at_start, warmup);
-    }
+    if (start_pc != 0 && start_count > 0)
+        fastForwardUntil(start_block, start_count, warmup);
 
     if (end_pc == 0)
         return runDetailed();
-    auto at_end = [&] {
-        return eng.blockExecCount(end_block) >= end_count;
-    };
-    return runDetailed(at_end);
+    return runDetailedUntil(end_block, end_count);
 }
 
 } // namespace looppoint

@@ -116,10 +116,25 @@ class MulticoreSim
     void fastForward(const std::function<bool()> &stop, bool warm);
 
     /**
+     * Fast-forward until `block` has executed at least `count` times
+     * globally. Equivalent to fastForward with a blockExecCount stop
+     * condition, but the bound check is inlined into the stepping loop
+     * instead of going through std::function.
+     */
+    void fastForwardUntil(BlockId block, uint64_t count, bool warm);
+
+    /**
      * Detailed simulation until `stop` returns true or the program
      * finishes. Stats and core clocks reset on entry.
      */
     SimMetrics runDetailed(const std::function<bool()> &stop = {});
+
+    /**
+     * Detailed simulation until `block` has executed at least `count`
+     * times globally — the region-endpoint condition, devirtualized
+     * (bit-identical endpoints, no per-block std::function call).
+     */
+    SimMetrics runDetailedUntil(BlockId block, uint64_t count);
 
     /** Largest core-local time (cycles) since the last runDetailed
      * clock reset; usable in live stop conditions. */
@@ -130,6 +145,29 @@ class MulticoreSim
     const SimConfig &config() const { return simCfg; }
 
   private:
+    /** Shared stepping loop; `stop` is any bool() callable. */
+    template <typename Stop>
+    void fastForwardImpl(Stop &&stop, bool warm);
+
+    /**
+     * Event-driven detailed loop: a binary min-heap of packed
+     * (coreTime, tid) keys replaces the per-step all-cores scan. Wakes
+     * are driven by the engine's per-step woken-thread list, so a
+     * sleeping core costs nothing until something releases it.
+     */
+    template <typename Stop>
+    SimMetrics runDetailedImpl(Stop &&stop);
+
+    /**
+     * The original scan-based scheduler, kept verbatim as the oracle
+     * for SimConfig::referenceScheduler and the golden-metrics tests.
+     */
+    SimMetrics runDetailedReference(const std::function<bool()> &stop);
+
+    /** Metric assembly shared by both detailed schedulers. */
+    SimMetrics collectMetrics(uint64_t icount_base,
+                              uint64_t filtered_base) const;
+
     SimConfig simCfg;
     const Program *prog;
     ExecutionEngine eng;

@@ -1,0 +1,588 @@
+/**
+ * @file
+ * Equivalence tests for the hot-path optimizations: every fast path
+ * (shift/mask recency-ordered caches, the event-driven detailed
+ * scheduler, dense slice accumulation, devirtualized region stop
+ * conditions) is checked bit-identical against its reference
+ * implementation — exact equality on every counter and double, never
+ * EXPECT_NEAR. Also covers the evicted-line optional at address 0 and
+ * a save/load round trip taken while a thread is blocked mid-wait.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/looppoint.hh"
+#include "dcfg/dcfg.hh"
+#include "exec/driver.hh"
+#include "exec/engine.hh"
+#include "isa/program_builder.hh"
+#include "profile/slicer.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/multicore.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "workload/descriptor.hh"
+
+namespace looppoint {
+namespace {
+
+void
+expectMetricsIdentical(const SimMetrics &a, const SimMetrics &b,
+                       const char *what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.filteredInstructions, b.filteredInstructions) << what;
+    EXPECT_EQ(a.runtimeSeconds, b.runtimeSeconds) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts) << what;
+    EXPECT_EQ(a.l1dAccesses, b.l1dAccesses) << what;
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses) << what;
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses) << what;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << what;
+    EXPECT_EQ(a.l3Accesses, b.l3Accesses) << what;
+    EXPECT_EQ(a.l3Misses, b.l3Misses) << what;
+}
+
+// ---------------------------------------------------------------------
+// Golden metrics: the full pipeline under the reference scan scheduler
+// must match the event-driven scheduler bit for bit, at any jobs count.
+// ---------------------------------------------------------------------
+
+struct PipelineOutput
+{
+    LoopPointResult lp;
+    LoopPointPipeline::CheckpointedSimResult ckpt;
+    MetricPrediction pred;
+};
+
+PipelineOutput
+runPipeline(const char *app_name, uint32_t jobs, bool reference)
+{
+    const AppDescriptor &app = findApp(app_name);
+    LoopPointOptions opts;
+    opts.numThreads = app.effectiveThreads(4);
+    opts.sliceSizePerThread = 20'000;
+    opts.jobs = jobs;
+    Program prog = generateProgram(app, InputClass::Test);
+    LoopPointPipeline pipe(prog, opts);
+
+    PipelineOutput out;
+    out.lp = pipe.analyze();
+    SimConfig sim_cfg;
+    sim_cfg.jobs = jobs;
+    sim_cfg.referenceScheduler = reference;
+    out.ckpt = pipe.simulateRegionsCheckpointed(out.lp, sim_cfg);
+    out.pred =
+        extrapolateMetrics(out.lp, out.ckpt.regionMetrics, sim_cfg);
+    return out;
+}
+
+void
+expectPipelineIdentical(const PipelineOutput &a, const PipelineOutput &b)
+{
+    // Slice boundaries and BBVs.
+    ASSERT_EQ(a.lp.slices.size(), b.lp.slices.size());
+    for (size_t i = 0; i < a.lp.slices.size(); ++i) {
+        const SliceRecord &sa = a.lp.slices[i];
+        const SliceRecord &sb = b.lp.slices[i];
+        EXPECT_EQ(sa.start, sb.start) << "slice " << i;
+        EXPECT_EQ(sa.end, sb.end) << "slice " << i;
+        EXPECT_EQ(sa.filteredIcount, sb.filteredIcount) << "slice " << i;
+        EXPECT_EQ(sa.totalIcount, sb.totalIcount) << "slice " << i;
+        EXPECT_EQ(sa.perThread, sb.perThread) << "slice " << i;
+    }
+
+    // Clustering and region selection.
+    EXPECT_EQ(a.lp.chosenK, b.lp.chosenK);
+    EXPECT_EQ(a.lp.assignment, b.lp.assignment);
+    ASSERT_EQ(a.lp.regions.size(), b.lp.regions.size());
+    for (size_t i = 0; i < a.lp.regions.size(); ++i) {
+        EXPECT_EQ(a.lp.regions[i].start, b.lp.regions[i].start);
+        EXPECT_EQ(a.lp.regions[i].end, b.lp.regions[i].end);
+        EXPECT_EQ(a.lp.regions[i].multiplier,
+                  b.lp.regions[i].multiplier);
+    }
+
+    // Per-region detailed metrics: every field, exactly.
+    ASSERT_EQ(a.ckpt.regionMetrics.size(), b.ckpt.regionMetrics.size());
+    for (size_t i = 0; i < a.ckpt.regionMetrics.size(); ++i)
+        expectMetricsIdentical(a.ckpt.regionMetrics[i],
+                               b.ckpt.regionMetrics[i], "region");
+
+    // Extrapolated prediction: byte-identical doubles.
+    EXPECT_EQ(a.pred.runtimeSeconds, b.pred.runtimeSeconds);
+    EXPECT_EQ(a.pred.cycles, b.pred.cycles);
+    EXPECT_EQ(a.pred.instructions, b.pred.instructions);
+    EXPECT_EQ(a.pred.filteredInstructions, b.pred.filteredInstructions);
+    EXPECT_EQ(a.pred.branchMispredicts, b.pred.branchMispredicts);
+    EXPECT_EQ(a.pred.l1dMisses, b.pred.l1dMisses);
+    EXPECT_EQ(a.pred.l2Misses, b.pred.l2Misses);
+    EXPECT_EQ(a.pred.l3Misses, b.pred.l3Misses);
+}
+
+TEST(HotpathGolden, Pop2ReferenceVsOptimizedJobsOneAndFour)
+{
+    PipelineOutput ref = runPipeline("628.pop2_s.1", 1, true);
+    PipelineOutput opt1 = runPipeline("628.pop2_s.1", 1, false);
+    PipelineOutput opt4 = runPipeline("628.pop2_s.1", 4, false);
+    expectPipelineIdentical(ref, opt1);
+    expectPipelineIdentical(ref, opt4);
+}
+
+TEST(HotpathGolden, RomsReferenceVsOptimized)
+{
+    PipelineOutput ref = runPipeline("654.roms_s.1", 1, true);
+    PipelineOutput opt = runPipeline("654.roms_s.1", 4, false);
+    expectPipelineIdentical(ref, opt);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler equivalence at the MulticoreSim level: full runs and
+// region runs under both wait policies.
+// ---------------------------------------------------------------------
+
+Program
+syncHeavyProgram(uint64_t iters, uint64_t timesteps)
+{
+    ProgramBuilder b("hotpath-test", 23);
+    uint32_t k = b.beginKernel("work", SchedPolicy::DynamicFor, iters);
+    b.addStream({.footprintBytes = 1 << 18, .strideBytes = 8});
+    b.addBlock({.numInstrs = 24, .fracMem = 0.4, .streams = {0}});
+    b.addCond({.numInstrs = 6, .streams = {}},
+              {.numInstrs = 14, .streams = {0}},
+              {.numInstrs = 10, .streams = {0}},
+              {.numInstrs = 4, .streams = {}}, 0.4);
+    b.addCritical(0, {.numInstrs = 12, .streams = {0}});
+    b.endKernel();
+    b.runKernels({k}, timesteps);
+    return b.build();
+}
+
+SimMetrics
+runScheduler(const Program &p, WaitPolicy policy, uint32_t threads,
+             bool reference)
+{
+    ExecConfig cfg{.numThreads = threads, .waitPolicy = policy};
+    SimConfig sc;
+    sc.referenceScheduler = reference;
+    return MulticoreSim(p, cfg, sc).run();
+}
+
+TEST(HotpathScheduler, FullRunMatchesReferencePassive)
+{
+    Program p = syncHeavyProgram(96, 3);
+    SimMetrics ref = runScheduler(p, WaitPolicy::Passive, 4, true);
+    SimMetrics opt = runScheduler(p, WaitPolicy::Passive, 4, false);
+    expectMetricsIdentical(ref, opt, "passive full run");
+}
+
+TEST(HotpathScheduler, FullRunMatchesReferenceActive)
+{
+    Program p = syncHeavyProgram(96, 3);
+    SimMetrics ref = runScheduler(p, WaitPolicy::Active, 4, true);
+    SimMetrics opt = runScheduler(p, WaitPolicy::Active, 4, false);
+    expectMetricsIdentical(ref, opt, "active full run");
+}
+
+TEST(HotpathScheduler, SingleThreadMatchesReference)
+{
+    Program p = syncHeavyProgram(64, 2);
+    SimMetrics ref = runScheduler(p, WaitPolicy::Passive, 1, true);
+    SimMetrics opt = runScheduler(p, WaitPolicy::Passive, 1, false);
+    expectMetricsIdentical(ref, opt, "single thread");
+}
+
+TEST(HotpathScheduler, RegionRunMatchesReference)
+{
+    Program p = syncHeavyProgram(256, 3);
+    const BlockId wh = p.kernels[0].workerHeader;
+    const Addr wh_pc = p.blocks[wh].pc;
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+
+    SimConfig ref_cfg;
+    ref_cfg.referenceScheduler = true;
+    SimConfig opt_cfg;
+
+    SimMetrics ref = MulticoreSim(p, cfg, ref_cfg)
+                         .runRegion(wh_pc, 256, wh_pc, 640, true);
+    SimMetrics opt = MulticoreSim(p, cfg, opt_cfg)
+                         .runRegion(wh_pc, 256, wh_pc, 640, true);
+    expectMetricsIdentical(ref, opt, "warmed region");
+}
+
+// ---------------------------------------------------------------------
+// Slicer equivalence: dense epoch-stamped accumulation vs direct
+// per-slice hash maps — contents AND iteration order.
+// ---------------------------------------------------------------------
+
+Program
+profileProgram(uint64_t iters, uint64_t timesteps)
+{
+    ProgramBuilder b("hotpath-prof", 31);
+    uint32_t k = b.beginKernel("work", SchedPolicy::StaticFor, iters);
+    b.addStream({.footprintBytes = 1 << 16, .strideBytes = 8});
+    b.addBlock({.numInstrs = 30, .fracMem = 0.3, .streams = {0}});
+    b.addCond({.numInstrs = 8, .streams = {}},
+              {.numInstrs = 12, .streams = {0}},
+              {.numInstrs = 9, .streams = {0}},
+              {.numInstrs = 5, .streams = {}}, 0.3);
+    b.endKernel();
+    b.runKernels({k}, timesteps);
+    return b.build();
+}
+
+std::vector<SliceRecord>
+profileSlices(const Program &p, uint32_t threads, uint64_t slice_size,
+              bool reference_accumulation)
+{
+    ExecConfig mcfg{.numThreads = threads,
+                    .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine me(p, mcfg);
+    DcfgBuilder builder(p, threads);
+    RoundRobinDriver md(me, 200);
+    md.run(&builder);
+    auto markers = builder.build().mainImageLoopHeaders();
+
+    ExecConfig cfg{.numThreads = threads,
+                   .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    SliceProfiler profiler(p, markers, slice_size, threads,
+                           /*filter_sync=*/true, reference_accumulation);
+    RoundRobinDriver d(e, 200);
+    d.run(&profiler);
+    profiler.finalize();
+    return profiler.slices();
+}
+
+TEST(HotpathSlicer, DenseAccumulationMatchesReference)
+{
+    Program p = profileProgram(300, 4);
+    auto ref = profileSlices(p, 4, 5'000, true);
+    auto fast = profileSlices(p, 4, 5'000, false);
+
+    ASSERT_EQ(ref.size(), fast.size());
+    ASSERT_GT(ref.size(), 1u);
+    for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(ref[i].start, fast[i].start) << "slice " << i;
+        EXPECT_EQ(ref[i].end, fast[i].end) << "slice " << i;
+        EXPECT_EQ(ref[i].filteredIcount, fast[i].filteredIcount);
+        EXPECT_EQ(ref[i].totalIcount, fast[i].totalIcount);
+        EXPECT_EQ(ref[i].threadFilteredIcount,
+                  fast[i].threadFilteredIcount);
+        ASSERT_EQ(ref[i].perThread.size(), fast[i].perThread.size());
+        for (size_t t = 0; t < ref[i].perThread.size(); ++t) {
+            // Same contents...
+            EXPECT_EQ(ref[i].perThread[t], fast[i].perThread[t])
+                << "slice " << i << " thread " << t;
+            // ...and the same hash-map iteration order. Downstream
+            // feature projection sums doubles in iteration order, so
+            // order equality is what makes the fast path bit-identical
+            // end to end, not just count-equal.
+            std::vector<BlockId> ref_order, fast_order;
+            for (const auto &[b, n] : ref[i].perThread[t].counts)
+                ref_order.push_back(b);
+            for (const auto &[b, n] : fast[i].perThread[t].counts)
+                fast_order.push_back(b);
+            EXPECT_EQ(ref_order, fast_order)
+                << "slice " << i << " thread " << t;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache property test: the shift/mask, recency-ordered cache against
+// a straightforward modulo-indexed timestamp-LRU reference model.
+// ---------------------------------------------------------------------
+
+/** Textbook set-associative LRU: modulo set index, timestamp scan. */
+class RefLruCache
+{
+  public:
+    explicit RefLruCache(const CacheConfig &cfg_)
+        : cfg(cfg_), numSets(cfg.sizeBytes / (cfg.lineBytes * cfg.assoc)),
+          lines(static_cast<size_t>(numSets) * cfg.assoc)
+    {}
+
+    bool
+    access(Addr addr, uint32_t core, std::optional<Addr> *evicted)
+    {
+        ++accesses;
+        const uint64_t line = addr / cfg.lineBytes;
+        Line *s = setOf(line);
+        for (uint32_t w = 0; w < cfg.assoc; ++w) {
+            if (s[w].valid && s[w].tag == line) {
+                s[w].lru = ++clock;
+                s[w].sharers |= (1ull << core);
+                return true;
+            }
+        }
+        ++misses;
+        uint32_t victim = cfg.assoc;
+        for (uint32_t w = 0; w < cfg.assoc; ++w) {
+            if (!s[w].valid) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == cfg.assoc) {
+            victim = 0;
+            for (uint32_t w = 1; w < cfg.assoc; ++w)
+                if (s[w].lru < s[victim].lru)
+                    victim = w;
+            if (evicted)
+                *evicted = s[victim].tag * cfg.lineBytes;
+        }
+        s[victim] = Line{line, ++clock, 1ull << core, true};
+        return false;
+    }
+
+    std::optional<Addr>
+    fill(Addr addr, uint32_t core)
+    {
+        const uint64_t line = addr / cfg.lineBytes;
+        Line *s = setOf(line);
+        for (uint32_t w = 0; w < cfg.assoc; ++w) {
+            if (s[w].valid && s[w].tag == line) {
+                s[w].sharers |= (1ull << core);
+                return std::nullopt;
+            }
+        }
+        std::optional<Addr> evicted;
+        uint32_t victim = cfg.assoc;
+        for (uint32_t w = 0; w < cfg.assoc; ++w) {
+            if (!s[w].valid) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == cfg.assoc) {
+            victim = 0;
+            for (uint32_t w = 1; w < cfg.assoc; ++w)
+                if (s[w].lru < s[victim].lru)
+                    victim = w;
+            evicted = s[victim].tag * cfg.lineBytes;
+        }
+        s[victim] = Line{line, ++clock, 1ull << core, true};
+        return evicted;
+    }
+
+    bool
+    invalidate(Addr addr)
+    {
+        const uint64_t line = addr / cfg.lineBytes;
+        Line *s = setOf(line);
+        for (uint32_t w = 0; w < cfg.assoc; ++w) {
+            if (s[w].valid && s[w].tag == line) {
+                s[w] = Line{};
+                ++invalidations;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    contains(Addr addr) const
+    {
+        const uint64_t line = addr / cfg.lineBytes;
+        const Line *s = setOf(line);
+        for (uint32_t w = 0; w < cfg.assoc; ++w)
+            if (s[w].valid && s[w].tag == line)
+                return true;
+        return false;
+    }
+
+    uint64_t
+    sharers(Addr addr) const
+    {
+        const uint64_t line = addr / cfg.lineBytes;
+        const Line *s = setOf(line);
+        for (uint32_t w = 0; w < cfg.assoc; ++w)
+            if (s[w].valid && s[w].tag == line)
+                return s[w].sharers;
+        return 0;
+    }
+
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        uint64_t sharers = 0;
+        bool valid = false;
+    };
+
+    Line *setOf(uint64_t line)
+    {
+        return &lines[static_cast<size_t>(line % numSets) * cfg.assoc];
+    }
+    const Line *setOf(uint64_t line) const
+    {
+        return &lines[static_cast<size_t>(line % numSets) * cfg.assoc];
+    }
+
+    CacheConfig cfg;
+    uint32_t numSets;
+    std::vector<Line> lines;
+    uint64_t clock = 0;
+};
+
+TEST(HotpathCache, PropertyMatchesReferenceLru)
+{
+    // Small geometry so sets fill and evict constantly: 4 sets, 4-way.
+    // The address pool spans 32 distinct lines (8 lines per set) and
+    // includes line 0, so the evicted-optional-at-address-0 case is
+    // exercised, not just constructed.
+    const CacheConfig geo{1024, 4, 64, 1};
+    Cache opt(geo);
+    RefLruCache ref(geo);
+    Rng rng(12345);
+
+    for (int step = 0; step < 20'000; ++step) {
+        const Addr addr = rng.nextBounded(32) * 64 + rng.nextBounded(64);
+        const uint32_t core = static_cast<uint32_t>(rng.nextBounded(4));
+        const uint64_t op = rng.nextBounded(10);
+        if (op < 7) {
+            std::optional<Addr> ev_opt, ev_ref;
+            const bool is_write = rng.nextBounded(2) != 0;
+            const bool hit_opt = opt.access(addr, core, is_write, &ev_opt);
+            const bool hit_ref = ref.access(addr, core, &ev_ref);
+            ASSERT_EQ(hit_opt, hit_ref) << "step " << step;
+            ASSERT_EQ(ev_opt.has_value(), ev_ref.has_value())
+                << "step " << step;
+            if (ev_opt) {
+                ASSERT_EQ(*ev_opt, *ev_ref) << "step " << step;
+            }
+        } else if (op < 8) {
+            ASSERT_EQ(opt.fill(addr, core), ref.fill(addr, core))
+                << "step " << step;
+        } else if (op < 9) {
+            ASSERT_EQ(opt.invalidate(addr), ref.invalidate(addr))
+                << "step " << step;
+        } else {
+            ASSERT_EQ(opt.contains(addr), ref.contains(addr))
+                << "step " << step;
+            ASSERT_EQ(opt.sharers(addr), ref.sharers(addr))
+                << "step " << step;
+        }
+    }
+    EXPECT_EQ(opt.stats().accesses, ref.accesses);
+    EXPECT_EQ(opt.stats().misses, ref.misses);
+    EXPECT_EQ(opt.stats().invalidations, ref.invalidations);
+}
+
+TEST(HotpathCache, EvictedOptionalDisambiguatesLineZero)
+{
+    // One set, two ways: lines 0x0, 0x40, 0x80 all collide. Evicting
+    // the line at address 0 must yield an *engaged* optional holding 0,
+    // distinguishable from "nothing evicted".
+    Cache c(CacheConfig{128, 2, 64, 1});
+    EXPECT_FALSE(c.access(0x00, 0, false, nullptr));
+    EXPECT_FALSE(c.access(0x40, 0, false, nullptr));
+
+    std::optional<Addr> evicted;
+    EXPECT_FALSE(c.access(0x80, 0, false, &evicted));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 0u);
+    EXPECT_FALSE(c.contains(0x00));
+
+    // Same through the prefetch-fill path.
+    Cache f(CacheConfig{128, 2, 64, 1});
+    EXPECT_FALSE(f.fill(0x00, 0).has_value()); // invalid way: no victim
+    EXPECT_FALSE(f.fill(0x40, 0).has_value());
+    EXPECT_FALSE(f.fill(0x40, 1).has_value()); // resident: no victim
+    std::optional<Addr> ev = f.fill(0x80, 0);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(*ev, 0u);
+    EXPECT_FALSE(f.contains(0x00));
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint round trip while a thread is blocked mid-wait.
+// ---------------------------------------------------------------------
+
+/** Per-thread executed-block streams. */
+class BlockCollector : public ExecListener
+{
+  public:
+    explicit BlockCollector(uint32_t num_threads) : streams(num_threads)
+    {}
+
+    void
+    onBlock(uint32_t tid, BlockId block,
+            const ExecutionEngine &engine) override
+    {
+        (void)engine;
+        streams[tid].push_back(block);
+    }
+
+    std::vector<std::vector<BlockId>> streams;
+};
+
+TEST(HotpathCheckpoint, SaveLoadWhileBlockedMidWait)
+{
+    // Critical sections + end-of-kernel barriers under the passive
+    // policy guarantee threads genuinely block (step() == Blocked).
+    Program p = syncHeavyProgram(64, 3);
+    const uint32_t threads = 4;
+    ExecConfig cfg{.numThreads = threads,
+                   .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+
+    // Step round-robin until some thread reports Blocked — it is then
+    // parked on a lock or barrier, the state the checkpoint must
+    // capture (wait kind, wake bookkeeping, partial barrier arrivals).
+    bool blocked = false;
+    for (int round = 0; round < 100'000 && !blocked; ++round) {
+        for (uint32_t tid = 0; tid < threads; ++tid) {
+            if (e.finished(tid))
+                continue;
+            if (e.step(tid).kind == StepResult::Kind::Blocked) {
+                blocked = true;
+                break;
+            }
+        }
+        ASSERT_FALSE(e.allFinished())
+            << "program ended before any thread blocked";
+    }
+    ASSERT_TRUE(blocked);
+
+    std::stringstream ss;
+    e.save(ss);
+    ExecutionEngine restored = ExecutionEngine::load(ss, p);
+
+    // Both engines must now produce the same continuation under the
+    // same schedule: identical per-thread block streams and counters.
+    BlockCollector ce(threads), cr(threads);
+    RoundRobinDriver de(e, 200);
+    de.run(&ce);
+    RoundRobinDriver dr(restored, 200);
+    dr.run(&cr);
+
+    EXPECT_TRUE(e.allFinished());
+    EXPECT_TRUE(restored.allFinished());
+    EXPECT_EQ(ce.streams, cr.streams);
+    EXPECT_EQ(e.globalIcount(), restored.globalIcount());
+    EXPECT_EQ(e.globalFilteredIcount(),
+              restored.globalFilteredIcount());
+    for (uint32_t tid = 0; tid < threads; ++tid) {
+        EXPECT_EQ(e.icount(tid), restored.icount(tid)) << tid;
+        EXPECT_EQ(e.filteredIcount(tid), restored.filteredIcount(tid))
+            << tid;
+    }
+    for (BlockId b = 0; b < p.numBlocks(); ++b)
+        EXPECT_EQ(e.blockExecCount(b), restored.blockExecCount(b)) << b;
+}
+
+} // namespace
+} // namespace looppoint

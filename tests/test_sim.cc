@@ -37,9 +37,10 @@ TEST(Cache, LruEviction)
     c.access(0x0000, 0, false, nullptr);
     c.access(0x0200, 0, false, nullptr);
     c.access(0x0000, 0, false, nullptr); // touch: 0x200 becomes LRU
-    Addr evicted = 0;
+    std::optional<Addr> evicted;
     c.access(0x0400, 0, false, &evicted); // evicts 0x200
-    EXPECT_EQ(evicted, 0x200u);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 0x200u);
     EXPECT_TRUE(c.contains(0x0000));
     EXPECT_FALSE(c.contains(0x0200));
     EXPECT_TRUE(c.contains(0x0400));
