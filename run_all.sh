@@ -8,6 +8,17 @@
 # host-parallel phases; the regular suite and benches then run from
 # the unsanitized build as usual.
 #
+# With --ubsan the tier-1 suite is built and run under
+# UndefinedBehaviorSanitizer (-DLOOPPOINT_SANITIZE=undefined,
+# -fno-sanitize-recover so any finding is a hard failure) in
+# build-ubsan/, then the lint + race-check analyses are exercised
+# end-to-end on the demo workload.
+#
+# With --tidy the clang-tidy checks from .clang-tidy are run over
+# src/ and tools/ using the compile_commands.json of a fresh
+# build-tidy/ configure. Skipped with a notice when clang-tidy is not
+# installed.
+#
 # With --bench-smoke only the hot-path microbenchmark is built (Release,
 # build-rel/) and run on the small test input, and the emitted
 # BENCH_hotpath.json is validated for well-formedness — a fast CI gate
@@ -36,9 +47,37 @@ if [ "$1" = "--bench-smoke" ]; then
     exit 0
 fi
 
+if [ "$1" = "--ubsan" ]; then
+    echo "== tier-1 under UndefinedBehaviorSanitizer (build-ubsan) =="
+    cmake -B build-ubsan -S . -DLOOPPOINT_SANITIZE=undefined \
+        -DLOOPPOINT_WERROR=ON || exit 1
+    cmake --build build-ubsan -j || exit 1
+    ctest --test-dir build-ubsan --output-on-failure 2>&1 \
+        | tee ubsan_output.txt || exit 1
+    echo "== lint + race check under UBSan =="
+    build-ubsan/tools/lp_lint -p demo-matrix-1 --race-check || exit 1
+    echo "ubsan OK"
+    exit 0
+fi
+
+if [ "$1" = "--tidy" ]; then
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "tidy SKIPPED: clang-tidy is not installed"
+        exit 0
+    fi
+    echo "== clang-tidy over src/ and tools/ (build-tidy) =="
+    cmake -B build-tidy -S . || exit 1
+    files=$(find src tools -name '*.cc')
+    # shellcheck disable=SC2086
+    clang-tidy -p build-tidy --quiet $files || exit 1
+    echo "tidy OK"
+    exit 0
+fi
+
 if [ "$1" = "--tsan" ] || [ "${LOOPPOINT_TSAN:-0}" = "1" ]; then
     echo "== tier-1 under ThreadSanitizer (build-tsan) =="
-    cmake -B build-tsan -S . -DLOOPPOINT_SANITIZE=thread || exit 1
+    cmake -B build-tsan -S . -DLOOPPOINT_SANITIZE=thread \
+        -DLOOPPOINT_WERROR=ON || exit 1
     cmake --build build-tsan -j || exit 1
     ctest --test-dir build-tsan --output-on-failure 2>&1 \
         | tee tsan_output.txt || exit 1

@@ -1,0 +1,120 @@
+#include "analysis/diagnostic.hh"
+
+#include <ostream>
+
+namespace looppoint {
+
+std::string_view
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+      default: return "???";
+    }
+}
+
+void
+DiagnosticSink::report(Severity severity, std::string pass,
+                       std::string location, std::string message)
+{
+    std::lock_guard<std::mutex> guard(mtx);
+    list.push_back({severity, std::move(pass), std::move(location),
+                    std::move(message)});
+}
+
+size_t
+DiagnosticSink::count(Severity s) const
+{
+    std::lock_guard<std::mutex> guard(mtx);
+    size_t n = 0;
+    for (const auto &d : list)
+        if (d.severity == s)
+            ++n;
+    return n;
+}
+
+std::vector<Diagnostic>
+DiagnosticSink::take()
+{
+    std::lock_guard<std::mutex> guard(mtx);
+    std::vector<Diagnostic> out = std::move(list);
+    list.clear();
+    return out;
+}
+
+void
+DiagnosticSink::printText(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> guard(mtx);
+    printDiagnosticsText(os, list);
+}
+
+void
+DiagnosticSink::printJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> guard(mtx);
+    printDiagnosticsJson(os, list);
+}
+
+void
+printDiagnosticsText(std::ostream &os,
+                     const std::vector<Diagnostic> &diags)
+{
+    for (const auto &d : diags) {
+        os << severityName(d.severity) << " [" << d.pass << "] ";
+        if (!d.location.empty())
+            os << d.location << ": ";
+        os << d.message << '\n';
+    }
+}
+
+namespace {
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+printDiagnosticsJson(std::ostream &os,
+                     const std::vector<Diagnostic> &diags)
+{
+    os << "[\n";
+    for (size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        os << "  {\"severity\": ";
+        jsonEscape(os, std::string(severityName(d.severity)));
+        os << ", \"pass\": ";
+        jsonEscape(os, d.pass);
+        os << ", \"location\": ";
+        jsonEscape(os, d.location);
+        os << ", \"message\": ";
+        jsonEscape(os, d.message);
+        os << '}' << (i + 1 < diags.size() ? "," : "") << '\n';
+    }
+    os << "]\n";
+}
+
+} // namespace looppoint

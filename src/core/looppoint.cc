@@ -4,6 +4,8 @@
 #include <chrono>
 #include <future>
 
+#include "analysis/program_lint.hh"
+#include "analysis/race_detector.hh"
 #include "dcfg/dcfg.hh"
 #include "exec/driver.hh"
 #include "profile/slicer.hh"
@@ -150,6 +152,26 @@ LoopPointPipeline::analyze()
     DcfgBuilder dcfg_builder(*prog, cfg.numThreads);
     replayPinball(*prog, out.pinball, opts.flowQuantum, &dcfg_builder);
     Dcfg dcfg = dcfg_builder.build();
+
+    // (2b) Optional verification passes over the freshly recorded
+    // execution. They only produce diagnostics; the pipeline output is
+    // unaffected.
+    if (opts.analysis.lint || opts.analysis.raceCheck) {
+        DiagnosticSink sink;
+        if (opts.analysis.lint) {
+            LintContext lint_ctx;
+            lint_ctx.prog = prog;
+            lint_ctx.dcfg = &dcfg;
+            lint_ctx.pinball = &out.pinball;
+            lint_ctx.flowQuantum = opts.flowQuantum;
+            ProgramLint().run(lint_ctx, sink);
+        }
+        if (opts.analysis.raceCheck)
+            checkGuestRaces(*prog, out.pinball, sink,
+                            opts.flowQuantum);
+        out.diagnostics = sink.take();
+    }
+
     std::vector<BlockId> markers = dcfg.mainImageLoopHeaders();
     if (markers.empty())
         fatal("program '%s' exposes no main-image loop headers to mark "

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/diagnostic.hh"
 #include "cluster/kmeans.hh"
 #include "isa/program.hh"
 #include "pinball/pinball.hh"
@@ -62,6 +63,14 @@ struct LoopPointOptions
      * concurrency. Results are bit-identical for any value.
      */
     uint32_t jobs = 1;
+    /**
+     * Optional verification passes (ProgramLint over the recorded
+     * program + DCFG, and the happens-before race detector during an
+     * extra constrained replay). Findings land in
+     * LoopPointResult::diagnostics; the pipeline output itself is
+     * unaffected.
+     */
+    AnalysisConfig analysis;
 };
 
 /** One selected representative region ("looppoint"). */
@@ -93,6 +102,8 @@ struct LoopPointResult
     double clusterSerialSeconds = 0.0;
     /** Measured wall time of the clustering sweep. */
     double clusterWallSeconds = 0.0;
+    /** Findings of the enabled analysis passes (empty when off). */
+    std::vector<Diagnostic> diagnostics;
 
     /** Work reduction with regions simulated back-to-back. */
     double theoreticalSerialSpeedup() const;

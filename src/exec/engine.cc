@@ -227,12 +227,24 @@ ExecutionEngine::genBlockAddresses(uint32_t tid, const BasicBlock &bb)
             uint64_t pos;
             if (p.shared) {
                 // Iteration-tied access: the data an iteration touches
-                // is the same no matter which thread executes it.
+                // is the same no matter which thread executes it. An
+                // access whose position escapes the iteration's own
+                // 64-entry window (spill, rng jump, footprint wrap) is
+                // flagged aliased: its address collides with other
+                // iterations' data only as a compression artifact.
+                bool aliased = c.iterAccessCursor >= 64;
                 pos = c.iterCur * 64 + c.iterAccessCursor;
                 ++c.iterAccessCursor;
-                if (p.jumpProb > 0.0 && c.addrRng.nextBool(p.jumpProb))
+                if (p.jumpProb > 0.0 && c.addrRng.nextBool(p.jumpProb)) {
                     pos = c.addrRng.nextBounded(p.jumpBound);
-                addr = p.base + (pos * p.stride) % p.footprint;
+                    aliased = true;
+                }
+                const uint64_t off = pos * p.stride;
+                aliased |= off >= p.footprint;
+                addr = p.base + off % p.footprint;
+                c.memRefs.push_back({addr, op.index, op.isWrite,
+                                     aliased});
+                continue;
             } else {
                 uint64_t &cursor = spos[op.stream];
                 if (p.jumpProb > 0.0 && c.addrRng.nextBool(p.jumpProb))

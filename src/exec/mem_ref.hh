@@ -20,6 +20,14 @@ struct MemRef
     /** Index of the instruction within its block. */
     uint16_t instrIndex = 0;
     bool isWrite = false;
+    /**
+     * The address was folded by the shared-stream generator (rng jump
+     * draw, iteration-window spill, or footprint wraparound) rather
+     * than denoting the iteration's own data. Such collisions are an
+     * address-compression artifact, not program-semantic sharing; the
+     * race detector excludes them.
+     */
+    bool aliased = false;
 };
 
 } // namespace looppoint

@@ -18,6 +18,27 @@ constexpr Addr kSyncRegion = 0xFull << 40;
 /** Per-thread stack/scalar traffic. */
 constexpr Addr kStackRegion = 0xEull << 40;
 
+/**
+ * Each kernel owns a window of kStreamsPerKernel global stream indices
+ * (gsi = kernel index * kStreamsPerKernel + stream id), so stream
+ * tables larger than this overlap the next kernel's address slots.
+ */
+constexpr uint32_t kStreamsPerKernel = 16;
+
+/** Bytes reserved per global stream index (one slot). */
+constexpr uint64_t kStreamSlotBytes = 1ull << 36;
+
+/**
+ * Bytes of a private stream's slot owned by one thread (the tid field
+ * is shifted in above this); a private footprint beyond it would alias
+ * the next thread's subregion.
+ */
+constexpr uint64_t kPrivPerThreadBytes = 1ull << 30;
+
+/** Threads expressible in a private slot's tid field. */
+constexpr uint32_t kMaxPrivThreads =
+    static_cast<uint32_t>(kStreamSlotBytes / kPrivPerThreadBytes);
+
 /** Cache line of one synchronization object. */
 constexpr Addr
 syncAddr(uint32_t kind, uint32_t obj)
@@ -43,6 +64,11 @@ sharedStreamBase(uint32_t gsi)
 {
     return static_cast<Addr>(0x800 + gsi) << 36;
 }
+
+/** First address of the private-stream region (gsi 0, tid 0). */
+constexpr Addr kPrivStreamRegionBase = privStreamBase(0, 0);
+/** First address of the shared-stream region (gsi 0). */
+constexpr Addr kSharedStreamRegionBase = sharedStreamBase(0);
 
 } // namespace looppoint
 

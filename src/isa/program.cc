@@ -123,7 +123,7 @@ Program::finalizeDerived()
             const MemStream &s = k.streams[si];
             StreamPlan &p = k.plans[si];
             uint32_t gsi =
-                static_cast<uint32_t>(kidx) * 16 +
+                static_cast<uint32_t>(kidx) * kStreamsPerKernel +
                 static_cast<uint32_t>(si);
             p.stride = std::max<uint64_t>(1, s.strideBytes);
             p.footprint = std::max<uint64_t>(64, s.footprintBytes);

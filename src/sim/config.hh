@@ -29,6 +29,19 @@ struct CacheConfig
     uint32_t latency = 3; ///< access latency in cycles
 };
 
+/**
+ * Which guest-program analyses run alongside the pipeline. Both are
+ * host-side verification passes: they never alter the recorded
+ * execution or the simulated metrics.
+ */
+struct AnalysisConfig
+{
+    /** Run the ProgramLint static verifier over program + DCFG. */
+    bool lint = false;
+    /** Replay with the happens-before race detector attached. */
+    bool raceCheck = false;
+};
+
 /** Full simulated-system configuration (paper Table I). */
 struct SimConfig
 {
@@ -76,6 +89,9 @@ struct SimConfig
      * those tests and for debugging.
      */
     bool referenceScheduler = false;
+
+    /** Optional guest-program verification passes. */
+    AnalysisConfig analysis;
 
     /** Human-readable Table I-style description. */
     std::string describe() const;

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * lp_lint: standalone guest-program verifier. Generates a workload
+ * program, records a pinball, builds the DCFG, and runs the ProgramLint
+ * passes (and optionally the happens-before race detector) against it,
+ * reporting through the shared diagnostic sink as text or JSON.
+ *
+ *   lp_lint -p demo-matrix-1 -n 8
+ *   lp_lint -p npb-bt-1 --race-check --json
+ *   lp_lint --list-passes
+ *   lp_lint -p spec-imagick-1 --passes=structure,streams
+ *
+ * Exit status: 0 when no error-severity diagnostics were produced,
+ * 1 otherwise.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/program_lint.hh"
+#include "analysis/race_detector.hh"
+#include "dcfg/dcfg.hh"
+#include "pinball/pinball.hh"
+#include "util/logging.hh"
+#include "workload/descriptor.hh"
+
+using namespace looppoint;
+
+namespace {
+
+struct CliOptions
+{
+    std::vector<std::string> programs{"demo-matrix-1"};
+    uint32_t ncores = 8;
+    std::string inputClass = "test";
+    std::string waitPolicy = "passive";
+    uint64_t quantum = 1000;
+    bool lint = true;
+    bool raceCheck = false;
+    bool json = false;
+    std::vector<std::string> passes;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: lp_lint [options]\n"
+        "  -p, --program=LIST   comma-separated programs, each\n"
+        "                       <suite>-<app>-<input-num>\n"
+        "                       (default: demo-matrix-1)\n"
+        "  -n, --ncores=N       number of threads (default: 8)\n"
+        "  -i, --input-class=C  test | train | ref | A | C | D\n"
+        "                       (default: test)\n"
+        "  -w, --wait-policy=P  passive | active (default: passive)\n"
+        "  -q, --quantum=N      flow-control quantum in instructions\n"
+        "                       (default: 1000)\n"
+        "      --passes=LIST    run only these lint passes\n"
+        "      --race-check     also replay with the race detector\n"
+        "      --no-lint        skip the lint passes (race check only)\n"
+        "      --json           print diagnostics as a JSON array\n"
+        "      --list-passes    print the lint pass names and exit\n"
+        "  -h, --help           this message\n");
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseArg(int argc, char **argv, int &i, const char *short_name,
+         const char *long_name, std::string *value)
+{
+    std::string arg = argv[i];
+    std::string long_eq = std::string(long_name) + "=";
+    if (arg == short_name || arg == long_name) {
+        if (i + 1 >= argc)
+            fatal("option %s requires a value", arg.c_str());
+        *value = argv[++i];
+        return true;
+    }
+    if (arg.rfind(long_eq, 0) == 0) {
+        *value = arg.substr(long_eq.size());
+        return true;
+    }
+    return false;
+}
+
+InputClass
+resolveInput(const std::string &name)
+{
+    if (name == "test")
+        return InputClass::Test;
+    if (name == "train")
+        return InputClass::Train;
+    if (name == "ref")
+        return InputClass::Ref;
+    if (name == "A")
+        return InputClass::NpbA;
+    if (name == "C")
+        return InputClass::NpbC;
+    if (name == "D")
+        return InputClass::NpbD;
+    fatal("unknown input class '%s'", name.c_str());
+}
+
+/** <suite>-<app>-<input-num> -> workload-table app name. */
+std::string
+resolveProgram(const std::string &prog)
+{
+    auto dash1 = prog.find('-');
+    auto dash2 = prog.rfind('-');
+    if (dash1 == std::string::npos || dash2 == dash1)
+        fatal("program '%s' is not of the form "
+              "<suite>-<application>-<input-num>", prog.c_str());
+    std::string suite = prog.substr(0, dash1);
+    std::string app = prog.substr(dash1 + 1, dash2 - dash1 - 1);
+    std::string input_num = prog.substr(dash2 + 1);
+
+    if (suite == "demo")
+        return "demo-matrix";
+    if (suite == "npb")
+        return "npb-" + app;
+    if (suite == "spec") {
+        for (const auto &d : spec2017Apps()) {
+            if (d.name == app + "." + input_num)
+                return d.name;
+            std::string needle = "." + app + "_s." + input_num;
+            if (d.name.size() > needle.size() &&
+                d.name.compare(d.name.size() - needle.size(),
+                               needle.size(), needle) == 0)
+                return d.name;
+        }
+        fatal("unknown SPEC program '%s'", prog.c_str());
+    }
+    fatal("unknown suite '%s' (expected demo, spec, or npb)",
+          suite.c_str());
+}
+
+CliOptions
+parseCli(int argc, char **argv)
+{
+    CliOptions opts;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            usage();
+            std::exit(0);
+        } else if (arg == "--list-passes") {
+            for (const auto &name : lintPassNames())
+                std::printf("%s\n", name.c_str());
+            std::exit(0);
+        } else if (parseArg(argc, argv, i, "-p", "--program", &value)) {
+            opts.programs = splitCommas(value);
+        } else if (parseArg(argc, argv, i, "-n", "--ncores", &value)) {
+            opts.ncores = static_cast<uint32_t>(std::stoul(value));
+        } else if (parseArg(argc, argv, i, "-i", "--input-class",
+                            &value)) {
+            opts.inputClass = value;
+        } else if (parseArg(argc, argv, i, "-w", "--wait-policy",
+                            &value)) {
+            opts.waitPolicy = value;
+        } else if (parseArg(argc, argv, i, "-q", "--quantum", &value)) {
+            opts.quantum = std::stoull(value);
+        } else if (parseArg(argc, argv, i, "", "--passes", &value)) {
+            opts.passes = splitCommas(value);
+        } else if (arg == "--race-check") {
+            opts.raceCheck = true;
+        } else if (arg == "--no-lint") {
+            opts.lint = false;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+            std::exit(1);
+        }
+    }
+    if (opts.waitPolicy != "passive" && opts.waitPolicy != "active")
+        fatal("wait policy must be 'passive' or 'active'");
+    if (opts.quantum == 0)
+        fatal("quantum must be positive");
+    if (!opts.lint && !opts.raceCheck)
+        fatal("--no-lint without --race-check leaves nothing to do");
+    return opts;
+}
+
+int
+checkOne(const std::string &program, const CliOptions &cli,
+         DiagnosticSink &sink)
+{
+    const std::string app_name = resolveProgram(program);
+    const AppDescriptor &app = findApp(app_name);
+    const uint32_t threads = app.effectiveThreads(cli.ncores);
+    Program prog = generateProgram(app, resolveInput(cli.inputClass));
+
+    ExecConfig cfg;
+    cfg.numThreads = threads;
+    cfg.waitPolicy = cli.waitPolicy == "active" ? WaitPolicy::Active
+                                                : WaitPolicy::Passive;
+    Pinball pinball = recordPinball(prog, cfg, cli.quantum);
+    DcfgBuilder dcfg_builder(prog, threads);
+    replayPinball(prog, pinball, cli.quantum, &dcfg_builder);
+    Dcfg dcfg = dcfg_builder.build();
+
+    const size_t errs_before = sink.errors();
+    if (cli.lint) {
+        LintContext ctx;
+        ctx.prog = &prog;
+        ctx.dcfg = &dcfg;
+        ctx.pinball = &pinball;
+        ctx.flowQuantum = cli.quantum;
+        ProgramLint().run(ctx, sink, cli.passes);
+    }
+    if (cli.raceCheck)
+        checkGuestRaces(prog, pinball, sink, cli.quantum);
+    return sink.errors() > errs_before ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int rc = 0;
+    DiagnosticSink sink;
+    try {
+        CliOptions cli = parseCli(argc, argv);
+        for (const auto &program : cli.programs)
+            rc |= checkOne(program, cli, sink);
+        if (cli.json)
+            sink.printJson(std::cout);
+        else
+            sink.printText(std::cout);
+        if (!cli.json)
+            std::printf("%zu finding(s), %zu error(s)\n",
+                        sink.diagnostics().size(), sink.errors());
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "lp_lint: %s\n", e.what());
+        return 1;
+    }
+    return rc;
+}

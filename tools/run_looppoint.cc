@@ -17,9 +17,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hh"
 #include "core/experiment.hh"
 #include "exec/driver.hh"
 #include "util/logging.hh"
@@ -42,6 +44,8 @@ struct CliOptions
     bool inorder = false;
     bool constrained = false;
     bool fullSim = true;
+    bool lint = false;
+    bool raceCheck = false;
 };
 
 void
@@ -64,6 +68,10 @@ usage()
         "      --inorder        simulate an in-order core\n"
         "      --constrained    constrained (replay-ordered) regions\n"
         "      --no-fullsim     skip the full-application simulation\n"
+        "      --lint           run the ProgramLint static verifier\n"
+        "                       over the program and its DCFG\n"
+        "      --race-check     replay with the happens-before race\n"
+        "                       detector attached\n"
         "      --force          start a new end-to-end run (accepted\n"
         "                       for artifact compatibility; runs are\n"
         "                       always fresh here)\n"
@@ -198,6 +206,10 @@ parseCli(int argc, char **argv)
             opts.constrained = true;
         } else if (arg == "--no-fullsim") {
             opts.fullSim = false;
+        } else if (arg == "--lint") {
+            opts.lint = true;
+        } else if (arg == "--race-check") {
+            opts.raceCheck = true;
         } else if (arg == "--force" || arg == "--reuse-profile" ||
                    arg == "--reuse-fullsim") {
             // Artifact compatibility: runs are always fresh.
@@ -260,6 +272,8 @@ runOne(const std::string &program, const CliOptions &cli)
     cfg.simulateFull = cli.fullSim;
     if (cli.inorder)
         cfg.sim.coreType = CoreType::InOrder;
+    cfg.sim.analysis.lint = cli.lint;
+    cfg.sim.analysis.raceCheck = cli.raceCheck;
     // Test-class runs are small; shrink slices so clustering has
     // enough intervals to work with (paper Sec. III-B).
     if (cfg.input == InputClass::Test)
@@ -302,6 +316,19 @@ runOne(const std::string &program, const CliOptions &cli)
     std::printf("theo. speedup  : %.1fx serial, %.1fx parallel\n\n",
                 r.theoreticalSerialSpeedup,
                 r.theoreticalParallelSpeedup);
+
+    if (cli.lint || cli.raceCheck) {
+        const auto &diags = r.analysis.diagnostics;
+        printDiagnosticsText(std::cout, diags);
+        size_t errors = 0;
+        for (const auto &d : diags)
+            if (d.severity == Severity::Error)
+                ++errors;
+        std::printf("analysis       : %zu finding(s), %zu error(s)\n\n",
+                    diags.size(), errors);
+        if (errors > 0)
+            return 1;
+    }
     return 0;
 }
 
@@ -310,13 +337,14 @@ runOne(const std::string &program, const CliOptions &cli)
 int
 main(int argc, char **argv)
 {
+    int rc = 0;
     try {
         CliOptions cli = parseCli(argc, argv);
         for (const auto &program : cli.programs)
-            runOne(program, cli);
+            rc |= runOne(program, cli);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "run_looppoint: %s\n", e.what());
         return 1;
     }
-    return 0;
+    return rc;
 }
