@@ -23,7 +23,75 @@
 # build-rel/) and run on the small test input, and the emitted
 # BENCH_hotpath.json is validated for well-formedness — a fast CI gate
 # that the measurement harness itself still works.
+#
+# With --faults the fault-tolerance layer is exercised under
+# AddressSanitizer (-DLOOPPOINT_SANITIZE=address in build-asan/): the
+# corruption/journal/fault-injection test subset runs first, then
+# run_looppoint is driven end to end through the degraded-run +
+# journal-resume scenario with its exit-code contract checked at each
+# step (0 clean, 1 degraded, 3 injected crash).
 cd "$(dirname "$0")"
+
+if [ "$1" = "--faults" ]; then
+    echo "== fault-tolerance suite under AddressSanitizer (build-asan) =="
+    cmake -B build-asan -S . -DLOOPPOINT_SANITIZE=address \
+        -DLOOPPOINT_WERROR=ON || exit 1
+    cmake --build build-asan -j || exit 1
+    ctest --test-dir build-asan --output-on-failure -R \
+        'Checksum|FaultPlan|ArtifactIntegrity|HostileInput|LegacyFormat|NoFatalGuard|RunKeyCodec|Journal|FaultPipeline' \
+        2>&1 | tee faults_output.txt
+    [ "${PIPESTATUS[0]}" = 0 ] || exit 1
+
+    echo "== CLI end to end: degraded run, crash, bit-identical resume =="
+    lp=build-asan/tools/run_looppoint
+    common="-p spec-roms-1 -i train --no-fullsim -j 4"
+    journal=$(mktemp -u /tmp/lp_faults.XXXXXX.journal)
+    out=/tmp/lp_faults
+    # shellcheck disable=SC2086
+    {
+        $lp $common > "$out.clean.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "faults FAIL: clean run exited $rc (want 0)"; exit 1; }
+
+        $lp $common --journal="$journal" \
+            --inject-fault='sim:region=3,kind=throw;sim:region=7,kind=diverge' \
+            > "$out.degraded.txt"
+        rc=$?
+        [ $rc -eq 1 ] || { echo "faults FAIL: degraded run exited $rc (want 1)"; exit 1; }
+        grep -q 'coverage       : 0\.' "$out.degraded.txt" || {
+            echo "faults FAIL: degraded run did not report reduced coverage"; exit 1; }
+
+        $lp $common --inject-fault='sim:region=5,kind=kill' \
+            --journal="$journal.kill" > "$out.killed.txt" 2>&1
+        rc=$?
+        [ $rc -eq 3 ] || { echo "faults FAIL: killed run exited $rc (want 3)"; exit 1; }
+
+        $lp $common --region-retries=1 \
+            --inject-fault='sim:region=3,kind=throw,times=1' > "$out.retried.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "faults FAIL: retried run exited $rc (want 0)"; exit 1; }
+        grep -q 'coverage       : 1\.0000' "$out.retried.txt" || {
+            echo "faults FAIL: retry did not restore full coverage"; exit 1; }
+
+        $lp $common --resume="$journal" > "$out.resumed.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "faults FAIL: resumed run exited $rc (want 0)"; exit 1; }
+        grep -q 'region(s) reused' "$out.resumed.txt" || {
+            echo "faults FAIL: resumed run reused nothing from the journal"; exit 1; }
+        # Bit-identical modulo the journal line and host wall-clock times.
+        if ! diff <(grep -vE '^(journal|host-parallel)' "$out.clean.txt") \
+                  <(grep -vE '^(journal|host-parallel)' "$out.resumed.txt"); then
+            echo "faults FAIL: resumed output differs from the clean run"; exit 1
+        fi
+
+        $lp $common --inject-fault='sim:region=bogus' > /dev/null 2>&1
+        rc=$?
+        [ $rc -eq 2 ] || { echo "faults FAIL: malformed fault spec exited $rc (want 2)"; exit 1; }
+    } || exit 1
+    rm -f "$journal" "$journal.kill"
+    echo "faults OK"
+    exit 0
+fi
 
 if [ "$1" = "--bench-smoke" ]; then
     echo "== bench smoke: micro_hotpath (build-rel) =="

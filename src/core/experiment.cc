@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 
+#include "core/run_journal.hh"
+#include "util/checksum.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -47,13 +50,39 @@ runExperiment(const ExperimentConfig &cfg)
     res.theoreticalParallelSpeedup =
         res.analysis.theoreticalParallelSpeedup();
 
+    // Crash-safe journal: keyed on everything that changes region
+    // results (host-side knobs like jobs, retries, and the fault plan
+    // are excluded, so a post-crash clean resume reuses the records).
+    // Without --resume the journal only records; with it, a missing
+    // or foreign journal is a hard error.
+    std::unique_ptr<RunJournal> journal;
+    if (!cfg.journalPath.empty()) {
+        RunKey key;
+        key.app = cfg.app;
+        key.input = inputClassName(cfg.input);
+        key.threads = threads;
+        key.waitPolicy = cfg.waitPolicy == WaitPolicy::Active
+                             ? "active"
+                             : "passive";
+        key.seed = opts.seed;
+        key.constrained = cfg.constrainedRegions;
+        key.simFingerprint = crc32(sim_cfg.describe());
+        journal = std::make_unique<RunJournal>(cfg.journalPath, key);
+        if (cfg.resume) {
+            if (auto err = journal->load(/*must_exist=*/true))
+                fatal("cannot resume from journal '%s': %s",
+                      cfg.journalPath.c_str(),
+                      err->describe().c_str());
+        }
+    }
+
     // Checkpoint-driven simulation: one warming pass snapshots the
     // simulation state at every region start; each region then runs
     // in isolation. Region wall times exclude the shared analysis
     // pass (they are what a parallel deployment of the checkpoints
     // would see); the checkpoint pass is reported separately.
     auto ckpt = pipeline.simulateRegionsCheckpointed(
-        res.analysis, sim_cfg, cfg.constrainedRegions);
+        res.analysis, sim_cfg, cfg.constrainedRegions, journal.get());
     res.wallCheckpointSeconds = ckpt.checkpointWallSeconds;
     res.wallPhaseSeconds = ckpt.phaseWallSeconds;
     res.jobs = ckpt.jobs;
@@ -64,9 +93,15 @@ runExperiment(const ExperimentConfig &cfg)
         res.wallRegionsMaxSeconds =
             std::max(res.wallRegionsMaxSeconds, wall);
     }
+    res.coverage = ckpt.coverage;
+    res.failedRegions = ckpt.failedRegions();
+    res.journalHits = ckpt.journalHits;
+    std::vector<uint8_t> ok_mask = ckpt.okMask();
+    for (auto &d : ckpt.diagnostics)
+        res.analysis.diagnostics.push_back(std::move(d));
     res.regionMetrics = std::move(ckpt.regionMetrics);
-    res.predicted =
-        extrapolateMetrics(res.analysis, res.regionMetrics, sim_cfg);
+    res.predicted = extrapolateMetrics(res.analysis, res.regionMetrics,
+                                       ok_mask, sim_cfg);
 
     if (cfg.simulateFull) {
         auto t0 = std::chrono::steady_clock::now();

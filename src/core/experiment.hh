@@ -42,6 +42,17 @@ struct ExperimentConfig
      * theoretical speedups are wanted (paper Fig. 9).
      */
     bool simulateFull = true;
+    /**
+     * Path of the crash-safe run journal. Empty disables journaling.
+     * Completed regions are appended as they finish; see `resume`.
+     */
+    std::string journalPath;
+    /**
+     * Resume from `journalPath`: the journal must exist and match this
+     * run's identity; already-journaled regions are reused instead of
+     * re-simulated (bit-identical to an uninterrupted run).
+     */
+    bool resume = false;
 };
 
 /** Everything the evaluation needs, for one experiment. */
@@ -82,6 +93,14 @@ struct ExperimentResult
     double hostParallelSpeedup = 0.0;
     /** hostParallelSpeedup / jobs. */
     double hostParallelEfficiency = 0.0;
+
+    /** Extrapolation-weight fraction backed by usable regions (1.0
+     * for a fault-free run; < 1.0 means the run completed degraded). */
+    double coverage = 1.0;
+    /** Regions dropped after exhausting their retry budget. */
+    size_t failedRegions = 0;
+    /** Regions reused from the resume journal. */
+    size_t journalHits = 0;
 };
 
 /** Run one experiment end to end. */

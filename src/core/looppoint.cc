@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <future>
+#include <limits>
 
 #include "analysis/program_lint.hh"
 #include "analysis/race_detector.hh"
+#include "core/run_journal.hh"
 #include "dcfg/dcfg.hh"
 #include "exec/driver.hh"
 #include "profile/slicer.hh"
@@ -24,6 +27,25 @@ effectiveJobs(uint32_t jobs)
 }
 
 } // namespace
+
+size_t
+LoopPointPipeline::CheckpointedSimResult::failedRegions() const
+{
+    size_t failed = 0;
+    for (const auto &o : regionOutcomes)
+        if (!o.ok)
+            ++failed;
+    return failed;
+}
+
+std::vector<uint8_t>
+LoopPointPipeline::CheckpointedSimResult::okMask() const
+{
+    std::vector<uint8_t> mask(regionOutcomes.size(), 1);
+    for (size_t i = 0; i < regionOutcomes.size(); ++i)
+        mask[i] = regionOutcomes[i].ok ? 1 : 0;
+    return mask;
+}
 
 double
 LoopPointPipeline::CheckpointedSimResult::serialEquivalentSeconds() const
@@ -304,7 +326,8 @@ struct RegionSnapshot
 LoopPointPipeline::CheckpointedSimResult
 LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
                                                const SimConfig &sim_cfg,
-                                               bool constrained) const
+                                               bool constrained,
+                                               RunJournal *journal) const
 {
     using clock = std::chrono::steady_clock;
     auto seconds_since = [](clock::time_point t0) {
@@ -315,6 +338,8 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     out.jobs = effectiveJobs(sim_cfg.jobs);
     out.regionMetrics.resize(lp.regions.size());
     out.regionWallSeconds.resize(lp.regions.size(), 0.0);
+    out.regionOutcomes.resize(lp.regions.size());
+    DiagnosticSink sink;
 
     auto t_phase = clock::now();
 
@@ -348,10 +373,39 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     ThreadPool *pool = out.jobs > 1 ? poolFor(out.jobs) : nullptr;
     std::vector<std::future<void>> inflight;
 
+    // If anything unwinds this frame while region tasks are still
+    // running (an injected kill surfacing through the helping join, a
+    // marker-resolution FatalError on the warming thread), the tasks
+    // must be drained before `out` and the snapshots leave scope.
+    struct DrainGuard
+    {
+        ThreadPool *pool;
+        std::vector<std::future<void>> *inflight;
+        ~DrainGuard()
+        {
+            if (!pool)
+                return;
+            for (auto &fut : *inflight) {
+                if (!fut.valid())
+                    continue;
+                try {
+                    pool->waitHelping(fut);
+                } catch (...) {
+                    // Already unwinding; the first error wins.
+                }
+            }
+        }
+    } drain_guard{pool, &inflight};
+
     for (size_t idx : order) {
         const LoopPointRegion &region = lp.regions[idx];
 
-        // Advance the warming pass to the region start.
+        // Advance the warming pass to the region start. This happens
+        // for journal hits too: the fast-forward scheduler's quantum
+        // rotation restarts at each stop, so the stops themselves are
+        // part of the warming trajectory — a resumed run must stop
+        // exactly where the original did to keep the downstream
+        // regions bit-identical.
         auto t_ff = clock::now();
         if (region.start.pc != 0 && region.start.count > 0) {
             BlockId start_block = block_of(region.start.pc);
@@ -360,6 +414,23 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
         }
         out.checkpointWallSeconds += seconds_since(t_ff);
 
+        // Resume fast path: a journaled region needs no snapshot and
+        // no detailed simulation — the expensive parts — only the
+        // warming stop above.
+        if (journal) {
+            auto hit = journal->find(static_cast<uint32_t>(idx),
+                                     region.start, region.end,
+                                     region.multiplier);
+            if (hit) {
+                out.regionMetrics[idx] = hit->metrics;
+                out.regionOutcomes[idx].ok = true;
+                out.regionOutcomes[idx].fromJournal = true;
+                out.regionOutcomes[idx].attempts = hit->attempts;
+                ++out.journalHits;
+                continue;
+            }
+        }
+
         // Snapshot = region pinball with warm microarchitectural
         // state; simulate it in isolation. Marker blocks resolve on
         // the warming thread so pool tasks cannot throw FatalError.
@@ -367,18 +438,118 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
             region.end.pc ? block_of(region.end.pc) : kInvalidBlock;
         auto snap = std::make_shared<RegionSnapshot>(base, base_arbiter,
                                                      constrained);
-        auto simulate = [snap, end_block,
-                         end_count = region.end.count, idx, &out,
+
+        // Divergence watchdog budget: generous over any legitimate
+        // spin inflation, so it only fires when the end marker is
+        // genuinely unreachable.
+        uint64_t budget = 0;
+        if (sim_cfg.watchdogFactor) {
+            const uint64_t floor_icount =
+                std::max<uint64_t>(region.filteredIcount, 10'000);
+            if (__builtin_mul_overflow(sim_cfg.watchdogFactor,
+                                       floor_icount, &budget))
+                budget = std::numeric_limits<uint64_t>::max();
+        }
+
+        auto simulate = [snap, end_block, idx, &region, &out, &sim_cfg,
+                         &sink, journal, constrained, budget,
                          seconds_since] {
             auto t_region = clock::now();
-            SimMetrics m;
-            if (end_block == kInvalidBlock) {
-                m = snap->sim.runDetailed();
-            } else {
-                m = snap->sim.runDetailedUntil(end_block, end_count);
+            RegionOutcome &outcome = out.regionOutcomes[idx];
+            const uint32_t max_attempts = 1 + sim_cfg.regionRetries;
+            for (uint32_t attempt = 0; attempt < max_attempts;
+                 ++attempt) {
+                try {
+                    const auto fault = sim_cfg.faults.simFault(
+                        static_cast<uint32_t>(idx), attempt);
+                    if (fault == FaultSpec::Kind::Kill)
+                        throw InjectedKill(
+                            "injected host death in region " +
+                            std::to_string(idx));
+                    if (fault == FaultSpec::Kind::Throw)
+                        throw InjectedFault(
+                            "injected failure in region " +
+                            std::to_string(idx) + ", attempt " +
+                            std::to_string(attempt));
+                    const bool diverge =
+                        fault == FaultSpec::Kind::Diverge;
+
+                    // With retries in play, every attempt gets its own
+                    // copy of the pristine snapshot so a failed
+                    // attempt's partial progress cannot leak into the
+                    // next; the single-attempt default runs in place
+                    // (no extra deep copy on the fault-free path).
+                    std::unique_ptr<RegionSnapshot> scratch;
+                    MulticoreSim *sim = &snap->sim;
+                    if (max_attempts > 1) {
+                        scratch = std::make_unique<RegionSnapshot>(
+                            snap->sim, snap->arbiter, constrained);
+                        sim = &scratch->sim;
+                    }
+
+                    SimMetrics m;
+                    bool reached = true;
+                    if (end_block == kInvalidBlock && !diverge) {
+                        m = sim->runDetailed();
+                    } else {
+                        // A diverge fault retargets the stop at a
+                        // count no execution can reach.
+                        const BlockId stop_block =
+                            end_block == kInvalidBlock ? 0 : end_block;
+                        const uint64_t stop_count =
+                            diverge
+                                ? std::numeric_limits<uint64_t>::max()
+                                : region.end.count;
+                        m = sim->runDetailedUntilBudget(
+                            stop_block, stop_count, budget, &reached);
+                    }
+                    if (!reached)
+                        throw std::runtime_error(
+                            "end marker not reached (divergent "
+                            "region; watchdog budget " +
+                            std::to_string(budget) + " instructions)");
+
+                    // idx is unique per task: each writes its own
+                    // slot.
+                    out.regionMetrics[idx] = m;
+                    outcome.ok = true;
+                    outcome.attempts = attempt + 1;
+                    outcome.error.clear();
+                    if (attempt > 0)
+                        sink.warning(
+                            "fault-tolerance",
+                            "region " + std::to_string(idx),
+                            "recovered on attempt " +
+                                std::to_string(attempt + 1) + " of " +
+                                std::to_string(max_attempts));
+                    if (journal) {
+                        RunJournal::Record rec;
+                        rec.regionIndex = static_cast<uint32_t>(idx);
+                        rec.start = region.start;
+                        rec.end = region.end;
+                        rec.multiplier = region.multiplier;
+                        rec.attempts = attempt + 1;
+                        rec.metrics = m;
+                        journal->append(rec);
+                    }
+                    break;
+                } catch (const InjectedKill &) {
+                    outcome.ok = false;
+                    outcome.attempts = attempt + 1;
+                    outcome.error = "injected host death";
+                    throw; // simulated crash: escape the phase
+                } catch (const std::exception &e) {
+                    outcome.ok = false;
+                    outcome.attempts = attempt + 1;
+                    outcome.error = e.what();
+                }
             }
-            // idx is unique per task: each writes its own slot.
-            out.regionMetrics[idx] = m;
+            if (!outcome.ok)
+                sink.error("fault-tolerance",
+                           "region " + std::to_string(idx),
+                           "dropped after " +
+                               std::to_string(outcome.attempts) +
+                               " attempt(s): " + outcome.error);
             out.regionWallSeconds[idx] = seconds_since(t_region);
         };
         if (pool)
@@ -388,9 +559,36 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     }
 
     // Warming is done; join the drain (the warming thread helps run
-    // queued regions instead of idling).
-    for (auto &fut : inflight)
-        pool->waitHelping(fut);
+    // queued regions instead of idling). Every future is awaited even
+    // if one carries an exception — a task still running while this
+    // frame unwinds would use freed stack state — and the first error
+    // is rethrown once all tasks are quiescent.
+    std::exception_ptr first_error;
+    for (auto &fut : inflight) {
+        try {
+            pool->waitHelping(fut);
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    // Coverage: the weight fraction of the extrapolation backed by
+    // usable regions. All-ok sums are identical, so division yields
+    // exactly 1.0 on the fault-free path.
+    double total_weight = 0.0, ok_weight = 0.0;
+    for (size_t i = 0; i < lp.regions.size(); ++i) {
+        const double w =
+            lp.regions[i].multiplier *
+            static_cast<double>(lp.regions[i].filteredIcount);
+        total_weight += w;
+        if (out.regionOutcomes[i].ok)
+            ok_weight += w;
+    }
+    out.coverage = total_weight > 0.0 ? ok_weight / total_weight : 1.0;
+    out.diagnostics = sink.take();
     out.phaseWallSeconds = seconds_since(t_phase);
     return out;
 }
@@ -400,12 +598,51 @@ extrapolateMetrics(const LoopPointResult &lp,
                    const std::vector<SimMetrics> &region_metrics,
                    const SimConfig &sim_cfg)
 {
+    return extrapolateMetrics(
+        lp, region_metrics,
+        std::vector<uint8_t>(lp.regions.size(), 1), sim_cfg);
+}
+
+MetricPrediction
+extrapolateMetrics(const LoopPointResult &lp,
+                   const std::vector<SimMetrics> &region_metrics,
+                   const std::vector<uint8_t> &ok_mask,
+                   const SimConfig &sim_cfg)
+{
     if (region_metrics.size() != lp.regions.size())
         fatal("extrapolateMetrics: %zu region metrics for %zu regions",
               region_metrics.size(), lp.regions.size());
-    MetricPrediction p;
+    if (ok_mask.size() != lp.regions.size())
+        fatal("extrapolateMetrics: %zu mask entries for %zu regions",
+              ok_mask.size(), lp.regions.size());
+
+    // Covered weight fraction (Eq. 2 weights over filtered work).
+    double total_weight = 0.0, ok_weight = 0.0;
     for (size_t i = 0; i < lp.regions.size(); ++i) {
-        const double mult = lp.regions[i].multiplier;
+        const double w =
+            lp.regions[i].multiplier *
+            static_cast<double>(lp.regions[i].filteredIcount);
+        total_weight += w;
+        if (ok_mask[i])
+            ok_weight += w;
+    }
+    const double coverage =
+        total_weight > 0.0 ? ok_weight / total_weight : 1.0;
+
+    MetricPrediction p;
+    p.coverage = coverage;
+    if (coverage <= 0.0)
+        return p; // nothing usable: an explicitly empty prediction
+
+    // Renormalize the surviving multipliers so the prediction still
+    // targets the whole program. Full coverage divides by exactly
+    // 1.0, which leaves every multiplier bit-identical to the plain
+    // extrapolation.
+    const double renorm = 1.0 / coverage;
+    for (size_t i = 0; i < lp.regions.size(); ++i) {
+        if (!ok_mask[i])
+            continue;
+        const double mult = lp.regions[i].multiplier * renorm;
         const SimMetrics &m = region_metrics[i];
         p.runtimeSeconds += m.runtimeSeconds * mult;
         p.cycles += static_cast<double>(m.cycles) * mult;

@@ -34,6 +34,7 @@
 
 namespace looppoint {
 
+class RunJournal;
 class ThreadPool;
 
 /** Tunables of the analysis phase. */
@@ -111,9 +112,32 @@ struct LoopPointResult
     double theoreticalParallelSpeedup() const;
 };
 
+/**
+ * Fate of one region's checkpointed simulation: whether it produced
+ * usable metrics, where they came from, and what went wrong if not.
+ */
+struct RegionOutcome
+{
+    /** Metrics are valid (simulated or journaled). */
+    bool ok = true;
+    /** Metrics came from a resume journal; nothing was re-simulated. */
+    bool fromJournal = false;
+    /** Simulation attempts consumed (0 for a journal hit's skip). */
+    uint32_t attempts = 0;
+    /** Last failure message when !ok (empty otherwise). */
+    std::string error;
+};
+
 /** Whole-program predictions from simulated looppoints (Eq. 1). */
 struct MetricPrediction
 {
+    /**
+     * Fraction of the extrapolation weight backed by successfully
+     * simulated regions. 1.0 exactly for a fault-free run; < 1.0 when
+     * regions were dropped and the remaining Eq. 2 weights were
+     * renormalized (graceful degradation).
+     */
+    double coverage = 1.0;
     double runtimeSeconds = 0.0;
     double cycles = 0.0;
     double instructions = 0.0;
@@ -188,6 +212,19 @@ class LoopPointPipeline
         double phaseWallSeconds = 0.0;
         /** Host workers the phase ran with. */
         uint32_t jobs = 1;
+        /** Per-region fate, ordered like regionMetrics. */
+        std::vector<RegionOutcome> regionOutcomes;
+        /** Regions satisfied from the resume journal. */
+        size_t journalHits = 0;
+        /** Weight fraction of usable regions (1.0 when all ok). */
+        double coverage = 1.0;
+        /** Failure/retry findings (pass "fault-tolerance"). */
+        std::vector<Diagnostic> diagnostics;
+
+        /** Regions with no usable metrics after all retries. */
+        size_t failedRegions() const;
+        /** okMask()[i] != 0 iff region i has usable metrics. */
+        std::vector<uint8_t> okMask() const;
 
         /** What one host thread would have needed (warming pass plus
          * every region back to back). */
@@ -215,10 +252,20 @@ class LoopPointPipeline
      * the workers once the last checkpoint is out). Region results
      * are bit-identical for any jobs count: every region simulates
      * from its own deep snapshot and shares no mutable state.
+     *
+     * Fault tolerance: a region whose simulation throws or diverges
+     * (end marker unreachable within the watchdog budget) is retried
+     * from its checkpoint up to sim_cfg.regionRetries times, then
+     * dropped — its outcome records the failure, coverage drops below
+     * 1.0, and the run completes degraded instead of dying. With
+     * `journal`, every completed region is persisted and regions
+     * already journaled by a previous (crashed) run are reused without
+     * re-simulation; resumed results are bit-identical to an
+     * uninterrupted run.
      */
     CheckpointedSimResult simulateRegionsCheckpointed(
         const LoopPointResult &lp, const SimConfig &sim_cfg,
-        bool constrained = false) const;
+        bool constrained = false, RunJournal *journal = nullptr) const;
 
     const LoopPointOptions &options() const { return opts; }
 
@@ -244,6 +291,19 @@ MetricPrediction extrapolateMetrics(
     const LoopPointResult &lp,
     const std::vector<SimMetrics> &region_metrics,
     const SimConfig &sim_cfg);
+
+/**
+ * Degradation-aware Eq. (1): regions with ok_mask[i] == 0 are dropped
+ * and the surviving Eq. 2 multipliers are renormalized by the covered
+ * weight fraction, so the prediction stays an estimate of the *whole*
+ * program. The returned coverage reports how much weight survived;
+ * with a full mask this is exactly the plain extrapolation (the
+ * renormalization factor is exactly 1.0).
+ */
+MetricPrediction extrapolateMetrics(
+    const LoopPointResult &lp,
+    const std::vector<SimMetrics> &region_metrics,
+    const std::vector<uint8_t> &ok_mask, const SimConfig &sim_cfg);
 
 /**
  * Build the (projected) clustering feature matrix from slices:

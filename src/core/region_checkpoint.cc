@@ -1,85 +1,31 @@
 #include "core/region_checkpoint.hh"
 
+#include <cmath>
 #include <iomanip>
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <sstream>
 
 #include "exec/driver.hh"
+#include "pinball/pinball_io.hh"
 #include "util/logging.hh"
 
 namespace looppoint {
 
 namespace {
 
-void
-saveOrderTable(std::ostream &os, const char *tag,
-               const std::vector<std::vector<uint32_t>> &table)
-{
-    os << tag << ' ' << table.size() << '\n';
-    for (const auto &row : table) {
-        os << row.size();
-        for (uint32_t tid : row)
-            os << ' ' << tid;
-        os << '\n';
-    }
-}
+constexpr const char *kRegionMagicBase = "looppoint-region-pinball-v";
+constexpr int kRegionVersion = 2;
 
-std::vector<std::vector<uint32_t>>
-loadOrderTable(std::istream &is, const char *tag)
+std::optional<LoadError>
+parseRegionPayload(std::istream &is, int version, RegionPinball &rp)
 {
-    std::string got;
-    size_t rows = 0;
-    if (!(is >> got >> rows) || got != tag)
-        fatal("region pinball parse error: expected '%s' table", tag);
-    std::vector<std::vector<uint32_t>> table(rows);
-    for (auto &row : table) {
-        size_t n = 0;
-        if (!(is >> n))
-            fatal("region pinball parse error in '%s' table", tag);
-        row.resize(n);
-        for (auto &tid : row)
-            if (!(is >> tid))
-                fatal("region pinball parse error in '%s' row", tag);
-    }
-    return table;
-}
-
-} // namespace
-
-void
-RegionPinball::save(std::ostream &os) const
-{
-    os << std::setprecision(17);
-    os << "looppoint-region-pinball-v1\n";
-    os << "app " << app << '\n';
-    os << "input " << inputClassName(input) << '\n';
-    os << "threads " << config.numThreads << '\n';
-    os << "waitpolicy "
-       << (config.waitPolicy == WaitPolicy::Active ? "active"
-                                                   : "passive")
-       << '\n';
-    os << "seed " << config.seed << '\n';
-    os << "start " << start.pc << ' ' << start.count << '\n';
-    os << "end " << end.pc << ' ' << end.count << '\n';
-    os << "multiplier " << multiplier << '\n';
-    os << "icount " << filteredIcount << '\n';
-    saveOrderTable(os, "locks", log.lockOrder);
-    saveOrderTable(os, "chunks", log.chunkOrder);
-}
-
-RegionPinball
-RegionPinball::load(std::istream &is)
-{
-    RegionPinball rp;
-    std::string line, key, value;
-    if (!std::getline(is, line) ||
-        line != "looppoint-region-pinball-v1")
-        fatal("not a looppoint region pinball (bad magic)");
+    std::string key, value;
     if (!(is >> key >> rp.app) || key != "app")
-        fatal("region pinball parse error: app");
+        return streamError(is, "'app' field");
     if (!(is >> key >> value) || key != "input")
-        fatal("region pinball parse error: input");
+        return streamError(is, "'input' field");
     bool found = false;
     for (InputClass c : {InputClass::Test, InputClass::Train,
                          InputClass::Ref, InputClass::NpbA,
@@ -90,27 +36,110 @@ RegionPinball::load(std::istream &is)
         }
     }
     if (!found)
-        fatal("region pinball parse error: unknown input class '%s'",
-              value.c_str());
+        return LoadError{LoadErrorKind::Parse,
+                         "unknown input class '" + value + "'"};
     if (!(is >> key >> rp.config.numThreads) || key != "threads")
-        fatal("region pinball parse error: threads");
+        return streamError(is, "'threads' field");
     if (!(is >> key >> value) || key != "waitpolicy")
-        fatal("region pinball parse error: waitpolicy");
-    rp.config.waitPolicy = value == "active" ? WaitPolicy::Active
-                                             : WaitPolicy::Passive;
+        return streamError(is, "'waitpolicy' field");
+    if (value == "active")
+        rp.config.waitPolicy = WaitPolicy::Active;
+    else if (value == "passive")
+        rp.config.waitPolicy = WaitPolicy::Passive;
+    else
+        return LoadError{LoadErrorKind::Parse,
+                         "unknown wait policy '" + value + "'"};
     if (!(is >> key >> rp.config.seed) || key != "seed")
-        fatal("region pinball parse error: seed");
+        return streamError(is, "'seed' field");
+    if (version >= 2) {
+        if (auto err = loadSyncTids(is, rp.config.numThreads))
+            return err;
+    }
     if (!(is >> key >> rp.start.pc >> rp.start.count) || key != "start")
-        fatal("region pinball parse error: start");
+        return streamError(is, "'start' marker");
     if (!(is >> key >> rp.end.pc >> rp.end.count) || key != "end")
-        fatal("region pinball parse error: end");
+        return streamError(is, "'end' marker");
     if (!(is >> key >> rp.multiplier) || key != "multiplier")
-        fatal("region pinball parse error: multiplier");
+        return streamError(is, "'multiplier' field");
     if (!(is >> key >> rp.filteredIcount) || key != "icount")
-        fatal("region pinball parse error: icount");
-    rp.log.lockOrder = loadOrderTable(is, "locks");
-    rp.log.chunkOrder = loadOrderTable(is, "chunks");
-    return rp;
+        return streamError(is, "'icount' field");
+    if (auto err = loadOrderTable(is, "locks", rp.log.lockOrder))
+        return err;
+    if (auto err = loadOrderTable(is, "chunks", rp.log.chunkOrder))
+        return err;
+
+    // Value-range checks beyond what parsing can see: a NaN or
+    // negative multiplier silently poisons every Eq. 1 extrapolation
+    // downstream, and a count-less marker is unreachable by
+    // construction.
+    if (!std::isfinite(rp.multiplier))
+        return LoadError{LoadErrorKind::Validation,
+                         "multiplier is not finite"};
+    if (rp.multiplier < 0.0)
+        return LoadError{LoadErrorKind::Validation,
+                         "multiplier " + std::to_string(rp.multiplier) +
+                             " is negative"};
+    if (rp.start.pc != 0 && rp.start.count == 0)
+        return LoadError{LoadErrorKind::Validation,
+                         "start marker has a pc but a zero count"};
+    if (rp.end.pc != 0 && rp.end.count == 0)
+        return LoadError{LoadErrorKind::Validation,
+                         "end marker has a pc but a zero count"};
+    return validateExecutionRecord("region pinball",
+                                   rp.config.numThreads,
+                                   rp.log.lockOrder, rp.log.chunkOrder,
+                                   {}, {});
+}
+
+} // namespace
+
+void
+RegionPinball::save(std::ostream &os) const
+{
+    std::ostringstream payload;
+    payload << std::setprecision(17);
+    payload << "app " << app << '\n';
+    payload << "input " << inputClassName(input) << '\n';
+    payload << "threads " << config.numThreads << '\n';
+    payload << "waitpolicy "
+            << (config.waitPolicy == WaitPolicy::Active ? "active"
+                                                        : "passive")
+            << '\n';
+    payload << "seed " << config.seed << '\n';
+    saveSyncTids(payload, config.numThreads);
+    payload << "start " << start.pc << ' ' << start.count << '\n';
+    payload << "end " << end.pc << ' ' << end.count << '\n';
+    payload << "multiplier " << multiplier << '\n';
+    payload << "icount " << filteredIcount << '\n';
+    saveOrderTable(payload, "locks", log.lockOrder);
+    saveOrderTable(payload, "chunks", log.chunkOrder);
+    writeFramedArtifact(os, kRegionMagicBase, kRegionVersion,
+                        payload.str());
+}
+
+LoadResult<RegionPinball>
+RegionPinball::tryLoad(std::istream &is)
+{
+    auto framed = readFramedArtifact(is, kRegionMagicBase,
+                                     kRegionVersion);
+    if (!framed)
+        return LoadResult<RegionPinball>::failure(framed.error());
+    const int version = framed.value().version;
+    std::istringstream payload(std::move(framed.value().payload));
+    RegionPinball rp;
+    if (auto err = parseRegionPayload(payload, version, rp))
+        return LoadResult<RegionPinball>::failure(std::move(*err));
+    return LoadResult<RegionPinball>::success(std::move(rp));
+}
+
+RegionPinball
+RegionPinball::load(std::istream &is)
+{
+    auto result = tryLoad(is);
+    if (!result)
+        fatal("region pinball load failed (%s)",
+              result.error().describe().c_str());
+    return std::move(result).value();
 }
 
 std::vector<RegionPinball>

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/looppoint.hh"
+#include "util/load_result.hh"
 #include "workload/descriptor.hh"
 
 namespace looppoint {
@@ -44,7 +45,15 @@ struct RegionPinball
     /** Filtered instructions of the region (for bookkeeping). */
     uint64_t filteredIcount = 0;
 
+    /** Versioned, CRC32-checksummed serialization (format v2). */
     void save(std::ostream &os) const;
+    /**
+     * Parse a region pinball — current or legacy v1 format — with
+     * structured errors (truncation, bad checksum, unknown version,
+     * NaN/negative multipliers, hostile sync logs) instead of fatal().
+     */
+    static LoadResult<RegionPinball> tryLoad(std::istream &is);
+    /** tryLoad, with failures rethrown as FatalError (legacy API). */
     static RegionPinball load(std::istream &is);
 
     bool operator==(const RegionPinball &other) const = default;

@@ -1,0 +1,221 @@
+#include "core/run_journal.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/checksum.hh"
+
+namespace looppoint {
+
+namespace {
+
+constexpr const char *kJournalMagic = "looppoint-journal-v1";
+
+std::string
+withCrc(const std::string &line)
+{
+    return line + " crc=" + crcHex(crc32(line));
+}
+
+/**
+ * Strip and verify a line's ` crc=XXXXXXXX` trailer. Returns the
+ * payload (everything before the trailer) or nullopt when the trailer
+ * is missing, malformed, or does not match the payload bytes.
+ */
+std::optional<std::string>
+checkCrc(const std::string &line)
+{
+    static const std::string marker = " crc=";
+    auto pos = line.rfind(marker);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    uint32_t stored = 0;
+    if (!parseCrcHex(std::string_view(line).substr(pos + marker.size()),
+                     stored))
+        return std::nullopt;
+    std::string payload = line.substr(0, pos);
+    if (crc32(payload) != stored)
+        return std::nullopt;
+    return payload;
+}
+
+std::string
+encodeRecord(const RunJournal::Record &r)
+{
+    // %.17g round-trips every double exactly, so a journaled metric
+    // set reloads bit-identical to what the simulation produced.
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "region idx=%" PRIu32 " start=%" PRIu64 ":%" PRIu64
+        " end=%" PRIu64 ":%" PRIu64 " mult=%.17g attempts=%" PRIu32
+        " cycles=%" PRIu64 " instrs=%" PRIu64 " filtered=%" PRIu64
+        " runtime=%.17g branches=%" PRIu64 " mispredicts=%" PRIu64
+        " l1da=%" PRIu64 " l1dm=%" PRIu64 " l2a=%" PRIu64
+        " l2m=%" PRIu64 " l3a=%" PRIu64 " l3m=%" PRIu64,
+        r.regionIndex, static_cast<uint64_t>(r.start.pc), r.start.count,
+        static_cast<uint64_t>(r.end.pc), r.end.count, r.multiplier,
+        r.attempts, r.metrics.cycles, r.metrics.instructions,
+        r.metrics.filteredInstructions, r.metrics.runtimeSeconds,
+        r.metrics.branches, r.metrics.branchMispredicts,
+        r.metrics.l1dAccesses, r.metrics.l1dMisses,
+        r.metrics.l2Accesses, r.metrics.l2Misses,
+        r.metrics.l3Accesses, r.metrics.l3Misses);
+    return buf;
+}
+
+std::optional<RunJournal::Record>
+parseRecord(const std::string &payload)
+{
+    RunJournal::Record r;
+    uint64_t start_pc = 0, end_pc = 0;
+    int n = std::sscanf(
+        payload.c_str(),
+        "region idx=%" SCNu32 " start=%" SCNu64 ":%" SCNu64
+        " end=%" SCNu64 ":%" SCNu64 " mult=%lg attempts=%" SCNu32
+        " cycles=%" SCNu64 " instrs=%" SCNu64 " filtered=%" SCNu64
+        " runtime=%lg branches=%" SCNu64 " mispredicts=%" SCNu64
+        " l1da=%" SCNu64 " l1dm=%" SCNu64 " l2a=%" SCNu64
+        " l2m=%" SCNu64 " l3a=%" SCNu64 " l3m=%" SCNu64,
+        &r.regionIndex, &start_pc, &r.start.count, &end_pc,
+        &r.end.count, &r.multiplier, &r.attempts, &r.metrics.cycles,
+        &r.metrics.instructions, &r.metrics.filteredInstructions,
+        &r.metrics.runtimeSeconds, &r.metrics.branches,
+        &r.metrics.branchMispredicts, &r.metrics.l1dAccesses,
+        &r.metrics.l1dMisses, &r.metrics.l2Accesses,
+        &r.metrics.l2Misses, &r.metrics.l3Accesses,
+        &r.metrics.l3Misses);
+    if (n != 19)
+        return std::nullopt;
+    r.start.pc = start_pc;
+    r.end.pc = end_pc;
+    // Re-encoding must reproduce the payload byte for byte: catches
+    // trailing junk sscanf ignores and any lossy double round trip.
+    if (encodeRecord(r) != payload)
+        return std::nullopt;
+    return r;
+}
+
+} // namespace
+
+std::string
+RunKey::encode() const
+{
+    std::ostringstream os;
+    os << "key app=" << app << " input=" << input << " threads="
+       << threads << " waitpolicy=" << waitPolicy << " seed=" << seed
+       << " constrained=" << (constrained ? 1 : 0) << " sim="
+       << crcHex(simFingerprint);
+    return os.str();
+}
+
+RunJournal::RunJournal(std::string path, RunKey key_)
+    : filePath(std::move(path)), key(std::move(key_))
+{
+}
+
+std::optional<LoadError>
+RunJournal::load(bool must_exist)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    records.clear();
+    dropped = 0;
+
+    std::ifstream is(filePath);
+    if (!is) {
+        if (must_exist)
+            return LoadError{LoadErrorKind::Io,
+                             "cannot open journal '" + filePath + "'"};
+        return std::nullopt; // fresh journal
+    }
+
+    std::string line;
+    if (!std::getline(is, line))
+        return LoadError{LoadErrorKind::Truncated, "journal is empty"};
+    auto magic = checkCrc(line);
+    if (!magic || *magic != kJournalMagic)
+        return LoadError{LoadErrorKind::BadMagic,
+                         "'" + filePath + "' is not a looppoint run "
+                         "journal"};
+    if (!std::getline(is, line))
+        return LoadError{LoadErrorKind::Truncated,
+                         "journal has no key line"};
+    auto key_line = checkCrc(line);
+    if (!key_line)
+        return LoadError{LoadErrorKind::BadChecksum,
+                         "journal key line fails its checksum"};
+    if (*key_line != key.encode())
+        return LoadError{
+            LoadErrorKind::Validation,
+            "journal was written by a different run (key mismatch): "
+            "journal has '" + *key_line + "', this run is '" +
+                key.encode() + "'"};
+
+    while (std::getline(is, line)) {
+        auto payload = checkCrc(line);
+        auto rec = payload ? parseRecord(*payload)
+                           : std::optional<Record>();
+        if (!rec) {
+            // Torn tail: this record (and anything after it, which
+            // was written later) is unusable. Keep the valid prefix.
+            ++dropped;
+            while (std::getline(is, line))
+                ++dropped;
+            break;
+        }
+        records.push_back(std::move(*rec));
+    }
+    return std::nullopt;
+}
+
+std::optional<RunJournal::Record>
+RunJournal::find(uint32_t region_index, const Marker &start,
+                 const Marker &end, double multiplier) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &r : records) {
+        if (r.regionIndex == region_index && r.start == start &&
+            r.end == end && r.multiplier == multiplier)
+            return r;
+    }
+    return std::nullopt;
+}
+
+void
+RunJournal::append(const Record &rec)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    records.push_back(rec);
+    if (!rewriteLocked())
+        ++writeFailures;
+}
+
+size_t
+RunJournal::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return records.size();
+}
+
+bool
+RunJournal::rewriteLocked()
+{
+    const std::string tmp = filePath + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return false;
+        os << withCrc(kJournalMagic) << '\n';
+        os << withCrc(key.encode()) << '\n';
+        for (const auto &r : records)
+            os << withCrc(encodeRecord(r)) << '\n';
+        os.flush();
+        if (!os)
+            return false;
+    }
+    return std::rename(tmp.c_str(), filePath.c_str()) == 0;
+}
+
+} // namespace looppoint

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Crash-safe run journal for checkpointed region simulation.
+ *
+ * A journal records one line per *completed* region simulation, so a
+ * run that dies mid-phase (host crash, injected kill, OOM) can be
+ * resumed without redoing finished work: on `--resume`, regions whose
+ * journal record matches the current run are taken from the journal
+ * and neither warmed to a stop nor re-simulated. Because journal hits
+ * skip work without touching the warming pass's simulated trajectory,
+ * a resumed run is bit-identical to an uninterrupted one.
+ *
+ * On-disk format (line-oriented text, one `crc=XXXXXXXX` trailer per
+ * line covering everything before it):
+ *
+ *   looppoint-journal-v1 crc=...
+ *   key app=... input=... threads=... waitpolicy=... seed=...
+ *       constrained=... sim=... crc=...          (one line)
+ *   region idx=... start=pc:count end=pc:count mult=... attempts=...
+ *       cycles=... ... l3m=... crc=...           (one line per region)
+ *
+ * Appends rewrite the whole file to `<path>.tmp` and std::rename it
+ * over the journal, so a crash mid-write can never produce a torn
+ * journal — at worst the last record is lost and its region
+ * re-simulates. A torn or corrupted *tail* in an existing journal
+ * (e.g. from an append that raced a power cut on a non-atomic
+ * filesystem) is tolerated: invalid trailing records are dropped and
+ * counted, valid prefix records are kept.
+ */
+
+#ifndef LOOPPOINT_CORE_RUN_JOURNAL_HH
+#define LOOPPOINT_CORE_RUN_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profile/bbv.hh"
+#include "sim/multicore.hh"
+#include "util/load_result.hh"
+
+namespace looppoint {
+
+/**
+ * Identity of a run for journal-reuse purposes: everything that
+ * changes the simulated per-region results. Host-side knobs (jobs,
+ * retries, fault plan) are deliberately excluded — a journal written
+ * under fault injection is reusable by the clean re-run.
+ */
+struct RunKey
+{
+    std::string app;
+    std::string input;
+    uint32_t threads = 0;
+    std::string waitPolicy;
+    uint64_t seed = 0;
+    bool constrained = false;
+    /** CRC32 fingerprint of the microarchitecture configuration. */
+    uint32_t simFingerprint = 0;
+
+    /** One-line textual encoding (no trailing newline). */
+    std::string encode() const;
+
+    bool operator==(const RunKey &other) const = default;
+};
+
+/** See file comment. */
+class RunJournal
+{
+  public:
+    /** One completed region simulation. */
+    struct Record
+    {
+        uint32_t regionIndex = 0;
+        Marker start;
+        Marker end;
+        double multiplier = 1.0;
+        /** Attempts the original run needed (bookkeeping only). */
+        uint32_t attempts = 1;
+        SimMetrics metrics;
+
+        bool operator==(const Record &other) const = default;
+    };
+
+    RunJournal(std::string path, RunKey key);
+
+    /**
+     * Load an existing journal from disk. A missing file is an Io
+     * error when `must_exist` (--resume names a journal that should be
+     * there) and an empty journal otherwise. A journal written by a
+     * different run (key mismatch) is a Validation error. Torn or
+     * corrupt trailing records are dropped, not errors — see
+     * droppedRecords().
+     */
+    std::optional<LoadError> load(bool must_exist);
+
+    /**
+     * The journaled metrics for a region, if the journal has a record
+     * matching its identity exactly (index, markers, multiplier — all
+     * round-trip losslessly). Returns a copy: appends from concurrent
+     * region tasks may relocate the underlying storage.
+     */
+    std::optional<Record> find(uint32_t region_index, const Marker &start,
+                               const Marker &end,
+                               double multiplier) const;
+
+    /**
+     * Record a completed region and persist the journal atomically
+     * (temp file + rename). Thread-safe: region tasks append
+     * concurrently. Disk failures are swallowed after counting — a
+     * journal is an optimization, never worth failing the run for.
+     */
+    void append(const Record &rec);
+
+    const std::string &path() const { return filePath; }
+    size_t size() const;
+    /** Invalid tail records dropped by load(). */
+    size_t droppedRecords() const { return dropped; }
+    /** Appends that failed to persist (disk full, permissions). */
+    size_t failedWrites() const { return writeFailures; }
+
+  private:
+    /** Serialize header + key + records to disk. Caller holds mu. */
+    bool rewriteLocked();
+
+    std::string filePath;
+    RunKey key;
+    std::vector<Record> records;
+    size_t dropped = 0;
+    size_t writeFailures = 0;
+    mutable std::mutex mu;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_CORE_RUN_JOURNAL_HH

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "exec/driver.hh"
+#include "pinball/pinball_io.hh"
 #include "util/logging.hh"
 
 namespace looppoint {
@@ -140,37 +141,67 @@ replayPinball(const Program &prog, const Pinball &pinball,
 
 namespace {
 
-void
-saveOrderTable(std::ostream &os, const char *tag,
-               const std::vector<std::vector<uint32_t>> &table)
-{
-    os << tag << ' ' << table.size() << '\n';
-    for (const auto &row : table) {
-        os << row.size();
-        for (uint32_t tid : row)
-            os << ' ' << tid;
-        os << '\n';
-    }
-}
+constexpr const char *kPinballMagicBase = "looppoint-pinball-v";
+constexpr int kPinballVersion = 2;
 
-std::vector<std::vector<uint32_t>>
-loadOrderTable(std::istream &is, const char *tag)
+/** Guard against a hostile table-size field forcing a huge resize. */
+constexpr uint64_t kMaxIcountEntries = kMaxArtifactThreads;
+
+std::optional<LoadError>
+parsePinballPayload(std::istream &is, int version, Pinball &pb)
 {
-    std::string got;
-    size_t rows = 0;
-    if (!(is >> got >> rows) || got != tag)
-        fatal("pinball parse error: expected '%s' table", tag);
-    std::vector<std::vector<uint32_t>> table(rows);
-    for (auto &row : table) {
-        size_t n = 0;
-        if (!(is >> n))
-            fatal("pinball parse error in '%s' table", tag);
-        row.resize(n);
-        for (auto &tid : row)
-            if (!(is >> tid))
-                fatal("pinball parse error in '%s' row", tag);
+    std::string key, value;
+    if (!(is >> key >> pb.programName) || key != "program")
+        return streamError(is, "'program' field");
+    if (!(is >> key >> pb.config.numThreads) || key != "threads")
+        return streamError(is, "'threads' field");
+    if (!(is >> key >> value) || key != "waitpolicy")
+        return streamError(is, "'waitpolicy' field");
+    if (value == "active")
+        pb.config.waitPolicy = WaitPolicy::Active;
+    else if (value == "passive")
+        pb.config.waitPolicy = WaitPolicy::Passive;
+    else
+        return LoadError{LoadErrorKind::Parse,
+                         "unknown wait policy '" + value + "'"};
+    if (!(is >> key >> pb.config.seed) || key != "seed")
+        return streamError(is, "'seed' field");
+    if (version >= 2) {
+        if (auto err = loadSyncTids(is, pb.config.numThreads))
+            return err;
     }
-    return table;
+    if (auto err = loadOrderTable(is, "locks", pb.log.lockOrder))
+        return err;
+    if (auto err = loadOrderTable(is, "chunks", pb.log.chunkOrder))
+        return err;
+
+    auto load_icounts = [&](const char *tag,
+                            std::vector<uint64_t> &out)
+        -> std::optional<LoadError> {
+        uint64_t n = 0;
+        if (!(is >> key >> n) || key != tag)
+            return streamError(is, std::string("'") + tag +
+                                       "' table header");
+        if (n > kMaxIcountEntries)
+            return LoadError{LoadErrorKind::Validation,
+                             std::string("'") + tag + "' table claims " +
+                                 std::to_string(n) + " entries"};
+        out.resize(n);
+        for (auto &v : out)
+            if (!(is >> v))
+                return streamError(is, std::string("'") + tag +
+                                           "' table entry");
+        return std::nullopt;
+    };
+    if (auto err = load_icounts("icounts", pb.threadIcounts))
+        return err;
+    if (auto err = load_icounts("filtered", pb.threadFilteredIcounts))
+        return err;
+
+    return validateExecutionRecord("pinball", pb.config.numThreads,
+                                   pb.log.lockOrder, pb.log.chunkOrder,
+                                   pb.threadIcounts,
+                                   pb.threadFilteredIcounts);
 }
 
 } // namespace
@@ -178,64 +209,52 @@ loadOrderTable(std::istream &is, const char *tag)
 void
 Pinball::save(std::ostream &os) const
 {
-    os << "looppoint-pinball-v1\n";
-    os << "program " << programName << '\n';
-    os << "threads " << config.numThreads << '\n';
-    os << "waitpolicy "
-       << (config.waitPolicy == WaitPolicy::Active ? "active" : "passive")
-       << '\n';
-    os << "seed " << config.seed << '\n';
-    saveOrderTable(os, "locks", log.lockOrder);
-    saveOrderTable(os, "chunks", log.chunkOrder);
-    os << "icounts " << threadIcounts.size();
+    std::ostringstream payload;
+    payload << "program " << programName << '\n';
+    payload << "threads " << config.numThreads << '\n';
+    payload << "waitpolicy "
+            << (config.waitPolicy == WaitPolicy::Active ? "active"
+                                                        : "passive")
+            << '\n';
+    payload << "seed " << config.seed << '\n';
+    saveSyncTids(payload, config.numThreads);
+    saveOrderTable(payload, "locks", log.lockOrder);
+    saveOrderTable(payload, "chunks", log.chunkOrder);
+    payload << "icounts " << threadIcounts.size();
     for (uint64_t v : threadIcounts)
-        os << ' ' << v;
-    os << '\n';
-    os << "filtered " << threadFilteredIcounts.size();
+        payload << ' ' << v;
+    payload << '\n';
+    payload << "filtered " << threadFilteredIcounts.size();
     for (uint64_t v : threadFilteredIcounts)
-        os << ' ' << v;
-    os << '\n';
+        payload << ' ' << v;
+    payload << '\n';
+    writeFramedArtifact(os, kPinballMagicBase, kPinballVersion,
+                        payload.str());
+}
+
+LoadResult<Pinball>
+Pinball::tryLoad(std::istream &is)
+{
+    auto framed = readFramedArtifact(is, kPinballMagicBase,
+                                     kPinballVersion);
+    if (!framed)
+        return LoadResult<Pinball>::failure(framed.error());
+    const int version = framed.value().version;
+    std::istringstream payload(std::move(framed.value().payload));
+    Pinball pb;
+    if (auto err = parsePinballPayload(payload, version, pb))
+        return LoadResult<Pinball>::failure(std::move(*err));
+    return LoadResult<Pinball>::success(std::move(pb));
 }
 
 Pinball
 Pinball::load(std::istream &is)
 {
-    Pinball pb;
-    std::string line, key, value;
-    if (!std::getline(is, line) || line != "looppoint-pinball-v1")
-        fatal("not a looppoint pinball (bad magic)");
-    if (!(is >> key >> pb.programName) || key != "program")
-        fatal("pinball parse error: program");
-    if (!(is >> key >> pb.config.numThreads) || key != "threads")
-        fatal("pinball parse error: threads");
-    if (!(is >> key >> value) || key != "waitpolicy")
-        fatal("pinball parse error: waitpolicy");
-    if (value == "active")
-        pb.config.waitPolicy = WaitPolicy::Active;
-    else if (value == "passive")
-        pb.config.waitPolicy = WaitPolicy::Passive;
-    else
-        fatal("pinball parse error: unknown wait policy '%s'",
-              value.c_str());
-    if (!(is >> key >> pb.config.seed) || key != "seed")
-        fatal("pinball parse error: seed");
-    pb.log.lockOrder = loadOrderTable(is, "locks");
-    pb.log.chunkOrder = loadOrderTable(is, "chunks");
-
-    size_t n = 0;
-    if (!(is >> key >> n) || key != "icounts")
-        fatal("pinball parse error: icounts");
-    pb.threadIcounts.resize(n);
-    for (auto &v : pb.threadIcounts)
-        if (!(is >> v))
-            fatal("pinball parse error: icounts values");
-    if (!(is >> key >> n) || key != "filtered")
-        fatal("pinball parse error: filtered");
-    pb.threadFilteredIcounts.resize(n);
-    for (auto &v : pb.threadFilteredIcounts)
-        if (!(is >> v))
-            fatal("pinball parse error: filtered values");
-    return pb;
+    auto result = tryLoad(is);
+    if (!result)
+        fatal("pinball load failed (%s)",
+              result.error().describe().c_str());
+    return std::move(result).value();
 }
 
 } // namespace looppoint

@@ -30,6 +30,7 @@
 
 #include "exec/engine.hh"
 #include "exec/listener.hh"
+#include "util/load_result.hh"
 
 namespace looppoint {
 
@@ -55,9 +56,18 @@ struct Pinball
     /** Per-thread main-image instruction counts at record. */
     std::vector<uint64_t> threadFilteredIcounts;
 
-    /** Serialize to a simple line-oriented text format. */
+    /**
+     * Serialize as a versioned, CRC32-checksummed artifact (format
+     * version 2: magic, version, payload length, payload, checksum).
+     */
     void save(std::ostream &os) const;
-    /** Parse a pinball saved with save(); throws FatalError on junk. */
+    /**
+     * Parse a pinball saved with save() — current or legacy v1 format
+     * — returning a structured error (truncation, bad checksum,
+     * unknown version, hostile values) instead of calling fatal().
+     */
+    static LoadResult<Pinball> tryLoad(std::istream &is);
+    /** tryLoad, with failures rethrown as FatalError (legacy API). */
     static Pinball load(std::istream &is);
 
     bool operator==(const Pinball &other) const = default;

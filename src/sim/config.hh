@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/fault.hh"
+
 namespace looppoint {
 
 /** Core timing model selector. */
@@ -92,6 +94,31 @@ struct SimConfig
 
     /** Optional guest-program verification passes. */
     AnalysisConfig analysis;
+
+    /**
+     * Per-region retry budget for checkpointed simulation: a region
+     * whose simulation fails is re-attempted from its checkpoint up to
+     * this many additional times before it is dropped and the
+     * extrapolation degrades. Purely host-side: fault-free runs are
+     * bit-identical for any value.
+     */
+    uint32_t regionRetries = 0;
+
+    /**
+     * Divergence watchdog for region simulation: a region is aborted
+     * once it retires `watchdogFactor * max(filteredIcount, 10'000)`
+     * instructions without reaching its end marker. 0 disables the
+     * watchdog. The default leaves a wide margin over spin inflation,
+     * so it only fires on genuinely divergent replays; when it does
+     * not fire the simulated trajectory is untouched.
+     */
+    uint64_t watchdogFactor = 64;
+
+    /**
+     * Deterministic fault-injection plan (testing / chaos harness).
+     * Empty in production. See FaultPlan::parse for the grammar.
+     */
+    FaultPlan faults;
 
     /** Human-readable Table I-style description. */
     std::string describe() const;

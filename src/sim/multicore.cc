@@ -265,6 +265,31 @@ MulticoreSim::runDetailedUntil(BlockId block, uint64_t count)
 }
 
 SimMetrics
+MulticoreSim::runDetailedUntilBudget(BlockId block, uint64_t count,
+                                     uint64_t max_instrs, bool *reached)
+{
+    if (max_instrs == 0) {
+        SimMetrics m = runDetailedUntil(block, count);
+        if (reached)
+            *reached = eng.blockExecCount(block) >= count;
+        return m;
+    }
+    uint64_t limit;
+    if (__builtin_add_overflow(eng.globalIcount(), max_instrs, &limit))
+        limit = std::numeric_limits<uint64_t>::max();
+    auto at_end = [this, block, count, limit] {
+        return eng.blockExecCount(block) >= count ||
+               eng.globalIcount() >= limit;
+    };
+    SimMetrics m = simCfg.referenceScheduler
+                       ? runDetailedReference(at_end)
+                       : runDetailedImpl(at_end);
+    if (reached)
+        *reached = eng.blockExecCount(block) >= count;
+    return m;
+}
+
+SimMetrics
 MulticoreSim::runDetailedReference(const std::function<bool()> &stop)
 {
     // Align clocks and reset statistics at the region start.

@@ -65,6 +65,7 @@ struct SimMetrics
     double l3Mpki() const { return mpki(l3Misses); }
 
     SimMetrics &operator+=(const SimMetrics &other);
+    bool operator==(const SimMetrics &other) const = default;
 };
 
 /** See file comment. */
@@ -135,6 +136,19 @@ class MulticoreSim
      * (bit-identical endpoints, no per-block std::function call).
      */
     SimMetrics runDetailedUntil(BlockId block, uint64_t count);
+
+    /**
+     * runDetailedUntil with an instruction-budget watchdog: also stops
+     * once `max_instrs` instructions have retired since entry, bounding
+     * the cost of a divergent region whose end marker is never reached.
+     * `*reached` (if given) reports whether the marker condition — not
+     * the budget — terminated the run. max_instrs == 0 disables the
+     * budget. When the budget does not fire, the stop decision is
+     * identical to runDetailedUntil (same block, same cut point).
+     */
+    SimMetrics runDetailedUntilBudget(BlockId block, uint64_t count,
+                                      uint64_t max_instrs,
+                                      bool *reached = nullptr);
 
     /** Largest core-local time (cycles) since the last runDetailed
      * clock reset; usable in live stop conditions. */

@@ -1,0 +1,69 @@
+#include "util/checksum.hh"
+
+#include <array>
+#include <cctype>
+
+namespace looppoint {
+
+namespace {
+
+/** The reflected-polynomial lookup table, built once. */
+std::array<uint32_t, 256>
+buildTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    static const std::array<uint32_t, 256> table = buildTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint32_t crc = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::string
+crcHex(uint32_t crc)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(8, '0');
+    for (int i = 7; i >= 0; --i) {
+        out[i] = digits[crc & 0xFu];
+        crc >>= 4;
+    }
+    return out;
+}
+
+bool
+parseCrcHex(std::string_view text, uint32_t &out)
+{
+    if (text.size() != 8)
+        return false;
+    uint32_t value = 0;
+    for (char ch : text) {
+        uint32_t nibble;
+        if (ch >= '0' && ch <= '9')
+            nibble = static_cast<uint32_t>(ch - '0');
+        else if (ch >= 'a' && ch <= 'f')
+            nibble = static_cast<uint32_t>(ch - 'a' + 10);
+        else
+            return false;
+        value = (value << 4) | nibble;
+    }
+    out = value;
+    return true;
+}
+
+} // namespace looppoint

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CRC32 payload checksums for serialized artifacts (pinballs, region
+ * pinballs, run-journal records). The polynomial is the standard
+ * reflected IEEE 802.3 one (0xEDB88320), so values match zlib's
+ * crc32() and `python3 -c "import zlib; print(zlib.crc32(b'...'))"` —
+ * artifacts stay verifiable with stock tools.
+ */
+
+#ifndef LOOPPOINT_UTIL_CHECKSUM_HH
+#define LOOPPOINT_UTIL_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace looppoint {
+
+/** CRC32 (IEEE, reflected) of `len` bytes; `seed` chains calls. */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+/** Convenience overload for string payloads. */
+inline uint32_t
+crc32(std::string_view payload, uint32_t seed = 0)
+{
+    return crc32(payload.data(), payload.size(), seed);
+}
+
+/** Render a CRC as the canonical 8-digit lowercase hex used on disk. */
+std::string crcHex(uint32_t crc);
+
+/**
+ * Parse an 8-digit hex CRC written by crcHex(). Returns false (and
+ * leaves `out` untouched) on malformed input.
+ */
+bool parseCrcHex(std::string_view text, uint32_t &out);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_UTIL_CHECKSUM_HH

@@ -1,0 +1,164 @@
+#include "util/fault.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace looppoint {
+
+namespace {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t next = s.find(sep, pos);
+        if (next == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    return out;
+}
+
+uint64_t
+parseUint(const std::string &clause, const std::string &key,
+          const std::string &value)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        fatal("--inject-fault: '%s' needs a non-negative integer for "
+              "'%s', got '%s'", clause.c_str(), key.c_str(),
+              value.c_str());
+    try {
+        return std::stoull(value);
+    } catch (const std::out_of_range &) {
+        fatal("--inject-fault: value '%s' for '%s' is out of range",
+              value.c_str(), key.c_str());
+    }
+}
+
+FaultSpec
+parseClause(const std::string &clause)
+{
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos)
+        fatal("--inject-fault: clause '%s' is missing the 'site:' "
+              "prefix (expected sim: or corrupt:)", clause.c_str());
+    const std::string site = clause.substr(0, colon);
+
+    FaultSpec spec;
+    bool have_region = false, have_byte = false, have_kind = false;
+    for (const std::string &kv : split(clause.substr(colon + 1), ',')) {
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+            fatal("--inject-fault: '%s' in clause '%s' is not "
+                  "key=value", kv.c_str(), clause.c_str());
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "region") {
+            spec.region = static_cast<uint32_t>(
+                parseUint(clause, key, value));
+            have_region = true;
+        } else if (key == "kind") {
+            have_kind = true;
+            if (value == "throw")
+                spec.kind = FaultSpec::Kind::Throw;
+            else if (value == "diverge")
+                spec.kind = FaultSpec::Kind::Diverge;
+            else if (value == "kill")
+                spec.kind = FaultSpec::Kind::Kill;
+            else
+                fatal("--inject-fault: unknown kind '%s' (expected "
+                      "throw, diverge, or kill)", value.c_str());
+        } else if (key == "times") {
+            spec.times = static_cast<uint32_t>(
+                parseUint(clause, key, value));
+        } else if (key == "byte") {
+            have_byte = true;
+            if (value == "rand")
+                spec.byte = 0; // resolved from the seed at apply time
+            else
+                spec.byte = parseUint(clause, key, value);
+            if (value == "rand" && !spec.seed)
+                spec.seed = 0; // default seed; overridable below
+        } else if (key == "seed") {
+            spec.seed = parseUint(clause, key, value);
+        } else {
+            fatal("--inject-fault: unknown key '%s' in clause '%s'",
+                  key.c_str(), clause.c_str());
+        }
+    }
+
+    if (site == "sim") {
+        spec.site = FaultSpec::Site::Sim;
+        if (!have_region)
+            fatal("--inject-fault: sim clause '%s' needs region=N",
+                  clause.c_str());
+        if (!have_kind)
+            spec.kind = FaultSpec::Kind::Throw;
+        if (spec.kind == FaultSpec::Kind::FlipByte)
+            fatal("--inject-fault: sim clause '%s' cannot flip bytes",
+                  clause.c_str());
+    } else if (site == "corrupt") {
+        spec.site = FaultSpec::Site::Corrupt;
+        spec.kind = FaultSpec::Kind::FlipByte;
+        if (!have_byte)
+            fatal("--inject-fault: corrupt clause '%s' needs byte=N "
+                  "or byte=rand,seed=S", clause.c_str());
+    } else {
+        fatal("--inject-fault: unknown site '%s' (expected sim or "
+              "corrupt)", site.c_str());
+    }
+    return spec;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    if (spec.empty())
+        return plan;
+    for (const std::string &clause : split(spec, ';')) {
+        if (clause.empty())
+            fatal("--inject-fault: empty clause in '%s'", spec.c_str());
+        plan.clauses.push_back(parseClause(clause));
+    }
+    return plan;
+}
+
+std::optional<FaultSpec::Kind>
+FaultPlan::simFault(uint32_t region, uint32_t attempt) const
+{
+    for (const FaultSpec &spec : clauses) {
+        if (spec.site != FaultSpec::Site::Sim || spec.region != region)
+            continue;
+        if (spec.times != 0 && attempt >= spec.times)
+            continue;
+        return spec.kind;
+    }
+    return std::nullopt;
+}
+
+void
+FaultPlan::corrupt(std::string &bytes) const
+{
+    if (bytes.empty())
+        return;
+    for (const FaultSpec &spec : clauses) {
+        if (spec.site != FaultSpec::Site::Corrupt)
+            continue;
+        uint64_t offset = spec.byte;
+        if (spec.seed)
+            offset = hashCombine(*spec.seed, bytes.size());
+        bytes[static_cast<size_t>(offset % bytes.size())] ^=
+            static_cast<char>(0xFF);
+    }
+}
+
+} // namespace looppoint

@@ -10,8 +10,9 @@
  *   lp_lint --list-passes
  *   lp_lint -p spec-imagick-1 --passes=structure,streams
  *
- * Exit status: 0 when no error-severity diagnostics were produced,
- * 1 otherwise.
+ * Exit status (shared contract with run_looppoint): 0 when no
+ * error-severity diagnostics were produced, 1 on findings, 2 on usage
+ * errors, 3 on runtime failures.
  */
 
 #include <cstdio>
@@ -62,7 +63,12 @@ usage()
         "      --no-lint        skip the lint passes (race check only)\n"
         "      --json           print diagnostics as a JSON array\n"
         "      --list-passes    print the lint pass names and exit\n"
-        "  -h, --help           this message\n");
+        "  -h, --help           this message\n"
+        "\nexit codes:\n"
+        "  0  no error-severity findings\n"
+        "  1  at least one error-severity finding\n"
+        "  2  usage error (bad flag or argument)\n"
+        "  3  runtime failure (I/O error, corrupt artifact, ...)\n");
 }
 
 std::vector<std::string>
@@ -189,7 +195,7 @@ parseCli(int argc, char **argv)
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();
-            std::exit(1);
+            std::exit(2);
         }
     }
     if (opts.waitPolicy != "passive" && opts.waitPolicy != "active")
@@ -238,10 +244,18 @@ checkOne(const std::string &program, const CliOptions &cli,
 int
 main(int argc, char **argv)
 {
+    // Exit-code contract (documented in --help): 0 clean, 1 findings,
+    // 2 usage, 3 runtime failure.
+    CliOptions cli;
+    try {
+        cli = parseCli(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lp_lint: %s\n", e.what());
+        return 2;
+    }
     int rc = 0;
     DiagnosticSink sink;
     try {
-        CliOptions cli = parseCli(argc, argv);
         for (const auto &program : cli.programs)
             rc |= checkOne(program, cli, sink);
         if (cli.json)
@@ -253,7 +267,7 @@ main(int argc, char **argv)
                         sink.diagnostics().size(), sink.errors());
     } catch (const FatalError &e) {
         std::fprintf(stderr, "lp_lint: %s\n", e.what());
-        return 1;
+        return 3;
     }
     return rc;
 }

@@ -24,6 +24,7 @@
 #include "analysis/diagnostic.hh"
 #include "core/experiment.hh"
 #include "exec/driver.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -46,6 +47,10 @@ struct CliOptions
     bool fullSim = true;
     bool lint = false;
     bool raceCheck = false;
+    uint32_t regionRetries = 0;
+    std::string faultSpec;
+    std::string journalPath;
+    bool resume = false;
 };
 
 void
@@ -75,7 +80,26 @@ usage()
         "      --force          start a new end-to-end run (accepted\n"
         "                       for artifact compatibility; runs are\n"
         "                       always fresh here)\n"
+        "      --region-retries=N  re-attempt a failed region from its\n"
+        "                       checkpoint up to N times before\n"
+        "                       dropping it (default: 0)\n"
+        "      --journal=PATH   record completed regions in a\n"
+        "                       crash-safe journal at PATH\n"
+        "      --resume=PATH    resume from the journal at PATH:\n"
+        "                       already-completed regions are reused,\n"
+        "                       results are bit-identical to an\n"
+        "                       uninterrupted run\n"
+        "      --inject-fault=SPEC  deterministic fault injection, e.g.\n"
+        "                       sim:region=3,kind=throw|diverge|kill\n"
+        "                       [,times=M]; clauses separated by ';'\n"
         "  -h, --help           this message\n"
+        "\nexit codes:\n"
+        "  0  success, full coverage\n"
+        "  1  completed degraded (regions dropped, coverage < 1.0) or\n"
+        "     analysis findings with error severity\n"
+        "  2  usage error (bad flag or argument)\n"
+        "  3  runtime failure: I/O error, corrupt artifact or journal,\n"
+        "     or (injected) crash\n"
         "\nexamples (artifact appendix):\n"
         "  ./run_looppoint -p demo-matrix-1 -n 8 --force\n"
         "  ./run_looppoint -p demo-matrix-2,demo-matrix-3 -w active "
@@ -210,17 +234,32 @@ parseCli(int argc, char **argv)
             opts.lint = true;
         } else if (arg == "--race-check") {
             opts.raceCheck = true;
+        } else if (parseArg(argc, argv, i, "", "--region-retries",
+                            &value)) {
+            opts.regionRetries =
+                static_cast<uint32_t>(std::stoul(value));
+        } else if (parseArg(argc, argv, i, "", "--journal", &value)) {
+            opts.journalPath = value;
+        } else if (parseArg(argc, argv, i, "", "--resume", &value)) {
+            opts.journalPath = value;
+            opts.resume = true;
+        } else if (parseArg(argc, argv, i, "", "--inject-fault",
+                            &value)) {
+            opts.faultSpec = value;
         } else if (arg == "--force" || arg == "--reuse-profile" ||
                    arg == "--reuse-fullsim") {
             // Artifact compatibility: runs are always fresh.
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();
-            std::exit(1);
+            std::exit(2);
         }
     }
     if (opts.waitPolicy != "passive" && opts.waitPolicy != "active")
         fatal("wait policy must be 'passive' or 'active'");
+    // Validate the fault spec up front: a malformed plan is a usage
+    // error (exit 2), not a runtime failure.
+    FaultPlan::parse(opts.faultSpec);
     if (opts.jobs == 0)
         opts.jobs = ThreadPool::defaultWorkers();
     return opts;
@@ -274,6 +313,10 @@ runOne(const std::string &program, const CliOptions &cli)
         cfg.sim.coreType = CoreType::InOrder;
     cfg.sim.analysis.lint = cli.lint;
     cfg.sim.analysis.raceCheck = cli.raceCheck;
+    cfg.sim.regionRetries = cli.regionRetries;
+    cfg.sim.faults = FaultPlan::parse(cli.faultSpec);
+    cfg.journalPath = cli.journalPath;
+    cfg.resume = cli.resume;
     // Test-class runs are small; shrink slices so clustering has
     // enough intervals to work with (paper Sec. III-B).
     if (cfg.input == InputClass::Test)
@@ -300,6 +343,12 @@ runOne(const std::string &program, const CliOptions &cli)
     }
     std::printf("prediction     : runtime %.6f s\n",
                 r.predicted.runtimeSeconds);
+    std::printf("coverage       : %.4f (%zu of %zu regions failed)\n",
+                r.coverage, r.failedRegions,
+                r.analysis.regions.size());
+    if (!cfg.journalPath.empty())
+        std::printf("journal        : %s, %zu region(s) reused\n",
+                    cfg.journalPath.c_str(), r.journalHits);
     if (r.haveFullSim) {
         std::printf("full simulation: runtime %.6f s\n",
                     r.fullSim.runtimeSeconds);
@@ -317,8 +366,8 @@ runOne(const std::string &program, const CliOptions &cli)
                 r.theoreticalSerialSpeedup,
                 r.theoreticalParallelSpeedup);
 
-    if (cli.lint || cli.raceCheck) {
-        const auto &diags = r.analysis.diagnostics;
+    const auto &diags = r.analysis.diagnostics;
+    if (cli.lint || cli.raceCheck || !diags.empty()) {
         printDiagnosticsText(std::cout, diags);
         size_t errors = 0;
         for (const auto &d : diags)
@@ -329,7 +378,7 @@ runOne(const std::string &program, const CliOptions &cli)
         if (errors > 0)
             return 1;
     }
-    return 0;
+    return r.coverage < 1.0 ? 1 : 0;
 }
 
 } // namespace
@@ -337,14 +386,25 @@ runOne(const std::string &program, const CliOptions &cli)
 int
 main(int argc, char **argv)
 {
+    // Exit-code contract (documented in --help): 0 success, 1
+    // degraded/findings, 2 usage, 3 runtime failure.
+    CliOptions cli;
+    try {
+        cli = parseCli(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "run_looppoint: %s\n", e.what());
+        return 2;
+    }
     int rc = 0;
     try {
-        CliOptions cli = parseCli(argc, argv);
         for (const auto &program : cli.programs)
-            rc |= runOne(program, cli);
+            rc = std::max(rc, runOne(program, cli));
+    } catch (const InjectedKill &e) {
+        std::fprintf(stderr, "run_looppoint: %s\n", e.what());
+        return 3;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "run_looppoint: %s\n", e.what());
-        return 1;
+        return 3;
     }
     return rc;
 }
