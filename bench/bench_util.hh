@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
+
 namespace looppoint::bench {
 
 /** Minimal flag parser: --name or --name=value. */
@@ -77,8 +79,7 @@ class CsvFile
         path = dir + "/" + name + ".csv";
         file = std::fopen(path.c_str(), "w");
         if (!file)
-            std::fprintf(stderr, "warn: cannot write %s\n",
-                         path.c_str());
+            looppoint::warn("cannot write %s", path.c_str());
     }
 
     ~CsvFile()

@@ -16,13 +16,19 @@
  *   --threads=N     simulated thread count (default 4)
  *   --reps=N        repetitions per mode; best time wins (default 3)
  *   --out=PATH      JSON output path (default BENCH_hotpath.json)
+ *   --obs=on|off    arm the global tracer/metrics during measurement
+ *                   (default off) so obs overhead itself can be
+ *                   benchmarked; the setting is recorded in the JSON
  */
 
 #include <cstdio>
+#include <ctime>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/multicore.hh"
 #include "workload/descriptor.hh"
 
@@ -98,17 +104,56 @@ parseInput(const std::string &s)
     return InputClass::Test;
 }
 
+/**
+ * Short git SHA of the working tree, or "unknown" when git (or the
+ * .git directory) is unavailable — bench results stay comparable
+ * across checkouts without making git a hard dependency.
+ */
+std::string
+gitSha()
+{
+    std::FILE *p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (!p)
+        return "unknown";
+    char buf[64] = {0};
+    std::string sha;
+    if (std::fgets(buf, sizeof(buf), p)) {
+        sha = buf;
+        while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+            sha.pop_back();
+    }
+    ::pclose(p);
+    return sha.empty() ? "unknown" : sha;
+}
+
+/** UTC wall-clock timestamp, ISO 8601, for bench provenance. */
+std::string
+utcTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
 void
 writeJson(std::FILE *f, const std::string &app,
           const std::string &input, uint32_t threads, uint32_t reps,
-          const std::vector<ModeResult> &modes)
+          bool obs, const std::vector<ModeResult> &modes)
 {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"benchmark\": \"micro_hotpath\",\n");
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", gitSha().c_str());
+    std::fprintf(f, "  \"timestamp\": \"%s\",\n",
+                 utcTimestamp().c_str());
     std::fprintf(f, "  \"app\": \"%s\",\n", app.c_str());
     std::fprintf(f, "  \"input\": \"%s\",\n", input.c_str());
     std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"jobs\": 1,\n");
     std::fprintf(f, "  \"reps\": %u,\n", reps);
+    std::fprintf(f, "  \"obs\": \"%s\",\n", obs ? "on" : "off");
     std::fprintf(f, "  \"modes\": {\n");
     for (size_t i = 0; i < modes.size(); ++i) {
         const ModeResult &m = modes[i];
@@ -139,6 +184,11 @@ main(int argc, char **argv)
         static_cast<uint32_t>(args.getU64("threads", 4));
     const uint32_t reps = static_cast<uint32_t>(args.getU64("reps", 3));
     const std::string out_path = args.get("out", "BENCH_hotpath.json");
+    const bool obs = args.get("obs", "off") == "on";
+    if (obs) {
+        Tracer::global().setEnabled(true);
+        MetricsRegistry::global().setEnabled(true);
+    }
 
     const AppDescriptor &app = findApp(app_name);
     Program prog = generateProgram(app, parseInput(input_name));
@@ -148,8 +198,9 @@ main(int argc, char **argv)
     SimConfig sim_cfg;
 
     printHeader("micro_hotpath: per-block pipeline throughput");
-    std::printf("app=%s input=%s threads=%u reps=%u\n", app_name.c_str(),
-                input_name.c_str(), exec_cfg.numThreads, reps);
+    std::printf("app=%s input=%s threads=%u reps=%u obs=%s\n",
+                app_name.c_str(), input_name.c_str(),
+                exec_cfg.numThreads, reps, obs ? "on" : "off");
 
     std::vector<ModeResult> modes;
     modes.push_back(measure("fastforward", reps, prog, exec_cfg,
@@ -177,11 +228,10 @@ main(int argc, char **argv)
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f) {
-        std::fprintf(stderr, "error: cannot write %s\n",
-                     out_path.c_str());
+        logError("cannot write %s", out_path.c_str());
         return 1;
     }
-    writeJson(f, app_name, input_name, exec_cfg.numThreads, reps,
+    writeJson(f, app_name, input_name, exec_cfg.numThreads, reps, obs,
               modes);
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());

@@ -24,6 +24,13 @@
 # BENCH_hotpath.json is validated for well-formedness — a fast CI gate
 # that the measurement harness itself still works.
 #
+# With --obs-smoke the observability layer is exercised end to end: a
+# short traced pipeline run emits a Chrome-trace JSON + metrics JSON
+# that lp_report --check validates, then micro_hotpath (Release,
+# build-rel/, obs disabled) is compared against the committed
+# BENCH_hotpath.json baseline to assert the disabled-obs overhead
+# stays within 2%.
+#
 # With --faults the fault-tolerance layer is exercised under
 # AddressSanitizer (-DLOOPPOINT_SANITIZE=address in build-asan/): the
 # corruption/journal/fault-injection test subset runs first, then
@@ -112,6 +119,46 @@ if [ "$1" = "--bench-smoke" ]; then
         exit 1
     fi
     echo "bench-smoke OK: $out"
+    exit 0
+fi
+
+if [ "$1" = "--obs-smoke" ]; then
+    echo "== obs smoke: traced pipeline + lp_report --check =="
+    cmake -B build -S . || exit 1
+    cmake --build build -j --target run_looppoint lp_report || exit 1
+    trace=$(mktemp -u /tmp/obs_smoke.XXXXXX).trace.json
+    metrics=${trace%.trace.json}.metrics.json
+    build/tools/run_looppoint -p spec-roms-1 -i train --no-fullsim -j 4 \
+        --trace="$trace" --metrics="$metrics" > /dev/null || exit 1
+    build/tools/lp_report --trace="$trace" --metrics="$metrics" --check || {
+        echo "obs-smoke FAIL: lp_report --check found violations"
+        exit 1
+    }
+
+    echo "== obs smoke: disabled-obs overhead vs BENCH_hotpath.json =="
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release || exit 1
+    cmake --build build-rel -j --target micro_hotpath || exit 1
+    out=$(mktemp /tmp/obs_smoke.XXXXXX.bench.json)
+    timeout 600 build-rel/bench/micro_hotpath --input=train --reps=7 \
+        --obs=off --out="$out" || exit 1
+    python3 - "$out" BENCH_hotpath.json <<'PYEOF' || exit 1
+import json, sys
+new = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+worst = 0.0
+for mode, b in base["modes"].items():
+    n = new["modes"][mode]
+    overhead = n["seconds"] / b["seconds"] - 1.0
+    print("%-12s base=%.6fs new=%.6fs overhead=%+.2f%%"
+          % (mode, b["seconds"], n["seconds"], overhead * 100.0))
+    worst = max(worst, overhead)
+if worst > 0.02:
+    print("obs-smoke FAIL: disabled-obs overhead %.2f%% > 2%%"
+          % (worst * 100.0))
+    sys.exit(1)
+PYEOF
+    rm -f "$trace" "$metrics" "$out"
+    echo "obs-smoke OK"
     exit 0
 fi
 

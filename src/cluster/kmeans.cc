@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -203,12 +205,19 @@ simpointCluster(const FeatureMatrix &points, uint32_t max_k,
     std::vector<KmeansResult> runs(ks.size());
     out.bicByK.resize(ks.size());
     std::vector<double> candidate_wall(ks.size(), 0.0);
+    Counter &stat_iterations =
+        MetricsRegistry::global().counter("cluster.kmeans.iterations");
     ThreadPool::forEach(pool, 0, ks.size(), [&](size_t i) {
         auto t0 = clock::now();
         const uint32_t k = ks[i];
+        ScopedSpan span(Tracer::global(), "cluster.kmeans");
         Rng rng(hashCombine(seed, k));
         runs[i] = kmeans(points, k, rng);
         out.bicByK[i] = {k, bicScore(points, runs[i])};
+        span.arg("k", k)
+            .arg("iterations", runs[i].iterations)
+            .arg("bic", out.bicByK[i].second);
+        stat_iterations.add(runs[i].iterations);
         candidate_wall[i] =
             std::chrono::duration<double>(clock::now() - t0).count();
     });

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "core/run_journal.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/checksum.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -25,6 +27,20 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 ExperimentResult
 runExperiment(const ExperimentConfig &cfg)
 {
+    // Arm the process-wide telemetry before any instrumented code
+    // runs. Leaving already-armed state alone lets callers (tests)
+    // manage obs themselves across multiple experiments.
+    Tracer &tracer = Tracer::global();
+    if (cfg.sim.obs.trace && !tracer.enabled()) {
+        tracer.setEnabled(true);
+        tracer.nameCurrentThread("main");
+    }
+    if (cfg.sim.obs.metrics)
+        MetricsRegistry::global().setEnabled(true);
+
+    ScopedSpan exp_span(tracer, "experiment");
+    exp_span.arg("app", cfg.app);
+
     const AppDescriptor &app = findApp(cfg.app);
     const uint32_t threads =
         app.effectiveThreads(cfg.requestedThreads);
@@ -104,10 +120,12 @@ runExperiment(const ExperimentConfig &cfg)
                                        ok_mask, sim_cfg);
 
     if (cfg.simulateFull) {
+        ScopedSpan full_span(tracer, "phase.fullsim");
         auto t0 = std::chrono::steady_clock::now();
         res.fullSim = pipeline.simulateFull(sim_cfg);
         res.wallFullSeconds = secondsSince(t0);
         res.haveFullSim = true;
+        full_span.arg("wall_seconds", res.wallFullSeconds);
 
         res.runtimeErrorPct = absRelErrorPct(
             res.predicted.runtimeSeconds, res.fullSim.runtimeSeconds);

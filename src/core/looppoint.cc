@@ -9,6 +9,8 @@
 #include "analysis/program_lint.hh"
 #include "analysis/race_detector.hh"
 #include "core/run_journal.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "dcfg/dcfg.hh"
 #include "exec/driver.hh"
 #include "profile/slicer.hh"
@@ -50,7 +52,10 @@ LoopPointPipeline::CheckpointedSimResult::okMask() const
 double
 LoopPointPipeline::CheckpointedSimResult::serialEquivalentSeconds() const
 {
-    double total = checkpointWallSeconds;
+    // Warming spent reaching journal-satisfied regions backs no
+    // simulation in this run; counting it would credit a resumed run
+    // with "serial work" it never had to parallelize.
+    double total = checkpointWallSeconds - journalWarmSeconds;
     for (double w : regionWallSeconds)
         total += w;
     return total;
@@ -59,9 +64,13 @@ LoopPointPipeline::CheckpointedSimResult::serialEquivalentSeconds() const
 double
 LoopPointPipeline::CheckpointedSimResult::hostParallelSpeedup() const
 {
-    return phaseWallSeconds > 0.0
-               ? serialEquivalentSeconds() / phaseWallSeconds
-               : 0.0;
+    // Exclude the journal-hit warming from the wall-time denominator
+    // too: it is the same serial work on both sides, so leaving it in
+    // only one place would misreport resumed runs (a full resume
+    // would claim speedup ~1 with zero regions simulated).
+    const double wall = phaseWallSeconds - journalWarmSeconds;
+    const double serial = serialEquivalentSeconds();
+    return wall > 0.0 && serial > 0.0 ? serial / wall : 0.0;
 }
 
 double
@@ -164,21 +173,31 @@ LoopPointPipeline::analyze()
 {
     LoopPointResult out;
     ExecConfig cfg = execConfig();
+    Tracer &tracer = Tracer::global();
 
     // (1) Record the whole program once as a pinball: the repeatable,
     // up-front application analysis substrate.
-    out.pinball = recordPinball(*prog, cfg, opts.flowQuantum);
+    {
+        ScopedSpan span(tracer, "analyze.record");
+        out.pinball = recordPinball(*prog, cfg, opts.flowQuantum);
+        span.arg("threads", cfg.numThreads);
+    }
 
     // (2) Constrained replay #1: build the DCFG and identify the legal
     // region markers (main-image loop headers).
     DcfgBuilder dcfg_builder(*prog, cfg.numThreads);
-    replayPinball(*prog, out.pinball, opts.flowQuantum, &dcfg_builder);
-    Dcfg dcfg = dcfg_builder.build();
+    Dcfg dcfg = [&] {
+        ScopedSpan span(tracer, "analyze.dcfg");
+        replayPinball(*prog, out.pinball, opts.flowQuantum,
+                      &dcfg_builder);
+        return dcfg_builder.build();
+    }();
 
     // (2b) Optional verification passes over the freshly recorded
     // execution. They only produce diagnostics; the pipeline output is
     // unaffected.
     if (opts.analysis.lint || opts.analysis.raceCheck) {
+        ScopedSpan span(tracer, "analyze.verify");
         DiagnosticSink sink;
         if (opts.analysis.lint) {
             LintContext lint_ctx;
@@ -192,6 +211,8 @@ LoopPointPipeline::analyze()
             checkGuestRaces(*prog, out.pinball, sink,
                             opts.flowQuantum);
         out.diagnostics = sink.take();
+        span.arg("diagnostics",
+                 static_cast<uint64_t>(out.diagnostics.size()));
     }
 
     std::vector<BlockId> markers = dcfg.mainImageLoopHeaders();
@@ -205,9 +226,13 @@ LoopPointPipeline::analyze()
         opts.sliceSizePerThread * cfg.numThreads;
     SliceProfiler profiler(*prog, markers, slice_global, cfg.numThreads,
                            opts.filterSpin);
-    replayPinball(*prog, out.pinball, opts.flowQuantum, &profiler);
-    profiler.finalize();
-    out.slices = profiler.slices();
+    {
+        ScopedSpan span(tracer, "analyze.profile");
+        replayPinball(*prog, out.pinball, opts.flowQuantum, &profiler);
+        profiler.finalize();
+        out.slices = profiler.slices();
+        span.arg("slices", static_cast<uint64_t>(out.slices.size()));
+    }
     LP_ASSERT(!out.slices.empty());
 
     for (const auto &s : out.slices) {
@@ -220,11 +245,22 @@ LoopPointPipeline::analyze()
     // Both the projection and the K sweep fan out over the shared
     // pool when opts.jobs allows.
     ThreadPool *pool = poolFor(opts.jobs);
-    FeatureMatrix features = buildFeatureMatrix(
-        *prog, out.slices, opts.projectionDims, opts.seed, pool);
-    ClusteringResult clustering = simpointCluster(
-        features, opts.maxK, hashCombine(opts.seed, 0xc1u),
-        opts.bicThreshold, pool);
+    FeatureMatrix features = [&] {
+        ScopedSpan span(tracer, "analyze.project");
+        span.arg("slices", static_cast<uint64_t>(out.slices.size()))
+            .arg("dims", opts.projectionDims);
+        return buildFeatureMatrix(*prog, out.slices,
+                                  opts.projectionDims, opts.seed, pool);
+    }();
+    ClusteringResult clustering = [&] {
+        ScopedSpan span(tracer, "cluster.sweep");
+        span.arg("max_k", opts.maxK);
+        auto r = simpointCluster(features, opts.maxK,
+                                 hashCombine(opts.seed, 0xc1u),
+                                 opts.bicThreshold, pool);
+        span.arg("chosen_k", r.chosenK);
+        return r;
+    }();
     out.clusterSerialSeconds = clustering.candidateWallSeconds;
     out.clusterWallSeconds = clustering.sweepWallSeconds;
     out.assignment = clustering.best.assignment;
@@ -341,7 +377,23 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     out.regionOutcomes.resize(lp.regions.size());
     DiagnosticSink sink;
 
+    // Telemetry handles: registry references are stable for process
+    // lifetime, and every update below is a no-op while obs is off.
+    Tracer &tracer = Tracer::global();
+    MetricsRegistry &reg = MetricsRegistry::global();
+    Counter &stat_completed = reg.counter("region.sim.completed");
+    Counter &stat_failed = reg.counter("region.sim.failed");
+    Counter &stat_retries = reg.counter("region.sim.retries");
+    Counter &stat_journal_hits = reg.counter("journal.hits");
+    Histogram &stat_wall_us = reg.histogram(
+        "region.sim.wall_us",
+        {100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000});
+    Histogram &stat_l2_mpki = reg.histogram(
+        "region.l2.mpki_x1000",
+        {100, 300, 1'000, 3'000, 10'000, 30'000, 100'000});
+
     auto t_phase = clock::now();
+    ScopedSpan phase_span(tracer, "phase.checkpointed");
 
     // Process regions in program order so a single warming pass can
     // take every checkpoint.
@@ -407,12 +459,17 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
         // exactly where the original did to keep the downstream
         // regions bit-identical.
         auto t_ff = clock::now();
-        if (region.start.pc != 0 && region.start.count > 0) {
-            BlockId start_block = block_of(region.start.pc);
-            base.fastForwardUntil(start_block, region.start.count,
-                                  /*warm=*/true);
+        {
+            ScopedSpan warm_span(tracer, "warm.fastforward");
+            warm_span.arg("region", static_cast<uint64_t>(idx));
+            if (region.start.pc != 0 && region.start.count > 0) {
+                BlockId start_block = block_of(region.start.pc);
+                base.fastForwardUntil(start_block, region.start.count,
+                                      /*warm=*/true);
+            }
         }
-        out.checkpointWallSeconds += seconds_since(t_ff);
+        const double warm_s = seconds_since(t_ff);
+        out.checkpointWallSeconds += warm_s;
 
         // Resume fast path: a journaled region needs no snapshot and
         // no detailed simulation — the expensive parts — only the
@@ -427,6 +484,13 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
                 out.regionOutcomes[idx].fromJournal = true;
                 out.regionOutcomes[idx].attempts = hit->attempts;
                 ++out.journalHits;
+                // The warming above served only this replayed region;
+                // see journalWarmSeconds.
+                out.journalWarmSeconds += warm_s;
+                stat_journal_hits.add();
+                tracer.instant(
+                    "journal.hit",
+                    {{"region", std::to_string(idx), false}});
                 continue;
             }
         }
@@ -453,12 +517,34 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
 
         auto simulate = [snap, end_block, idx, &region, &out, &sim_cfg,
                          &sink, journal, constrained, budget,
-                         seconds_since] {
+                         seconds_since, &tracer, &stat_completed,
+                         &stat_failed, &stat_retries, &stat_wall_us,
+                         &stat_l2_mpki] {
             auto t_region = clock::now();
+            // The span lands on the executing host thread's track and
+            // is mirrored onto the region's own virtual track, so the
+            // trace shows both "what each worker did" and "when each
+            // region ran".
+            ScopedSpan region_span(tracer, "region.sim");
+            if (region_span.active())
+                region_span
+                    .mirror(tracer.virtualTrack(
+                        "region " + std::to_string(idx)))
+                    .arg("region", static_cast<uint64_t>(idx))
+                    .arg("multiplier", region.multiplier)
+                    .arg("icount", region.filteredIcount);
             RegionOutcome &outcome = out.regionOutcomes[idx];
             const uint32_t max_attempts = 1 + sim_cfg.regionRetries;
             for (uint32_t attempt = 0; attempt < max_attempts;
                  ++attempt) {
+                // Per-attempt spans only matter when retries are in
+                // play; the common single-attempt case is already
+                // covered by region.sim.
+                ScopedSpan attempt_span(
+                    max_attempts > 1 ? &tracer : nullptr,
+                    "region.attempt");
+                attempt_span.arg("region", static_cast<uint64_t>(idx))
+                    .arg("attempt", attempt);
                 try {
                     const auto fault = sim_cfg.faults.simFault(
                         static_cast<uint32_t>(idx), attempt);
@@ -515,6 +601,15 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
                     outcome.ok = true;
                     outcome.attempts = attempt + 1;
                     outcome.error.clear();
+                    stat_completed.add();
+                    if (attempt > 0)
+                        stat_retries.add(attempt);
+                    stat_l2_mpki.observe(
+                        static_cast<uint64_t>(m.l2Mpki() * 1000.0));
+                    region_span.arg("cycles", m.cycles)
+                        .arg("instructions", m.instructions)
+                        .arg("ipc", m.ipc())
+                        .arg("l2_mpki", m.l2Mpki());
                     if (attempt > 0)
                         sink.warning(
                             "fault-tolerance",
@@ -544,13 +639,20 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
                     outcome.error = e.what();
                 }
             }
-            if (!outcome.ok)
+            if (!outcome.ok) {
                 sink.error("fault-tolerance",
                            "region " + std::to_string(idx),
                            "dropped after " +
                                std::to_string(outcome.attempts) +
                                " attempt(s): " + outcome.error);
+                stat_failed.add();
+            }
             out.regionWallSeconds[idx] = seconds_since(t_region);
+            stat_wall_us.observe(static_cast<uint64_t>(
+                out.regionWallSeconds[idx] * 1e6));
+            region_span
+                .arg("ok", static_cast<uint64_t>(outcome.ok ? 1 : 0))
+                .arg("attempts", outcome.attempts);
         };
         if (pool)
             inflight.push_back(pool->submit(std::move(simulate)));
@@ -590,6 +692,14 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     out.coverage = total_weight > 0.0 ? ok_weight / total_weight : 1.0;
     out.diagnostics = sink.take();
     out.phaseWallSeconds = seconds_since(t_phase);
+    phase_span.arg("jobs", out.jobs)
+        .arg("regions", static_cast<uint64_t>(lp.regions.size()))
+        .arg("journal_hits", static_cast<uint64_t>(out.journalHits))
+        .arg("coverage", out.coverage)
+        .arg("phase_wall_seconds", out.phaseWallSeconds);
+    // Close now, not at frame exit: the span duration must agree with
+    // phaseWallSeconds (lp_report --check enforces 1%).
+    phase_span.finish();
     return out;
 }
 

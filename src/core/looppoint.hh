@@ -207,6 +207,15 @@ class LoopPointPipeline
         std::vector<double> regionWallSeconds;
         /** One-time warming/checkpoint-generation pass (seconds). */
         double checkpointWallSeconds = 0.0;
+        /**
+         * Portion of checkpointWallSeconds spent fast-forwarding to
+         * regions that were then satisfied from the resume journal.
+         * That warming work exists only because of the resume (a
+         * fresh serial run would also do it, but it backs no region
+         * simulation here), so the speedup accounting below removes
+         * it from both sides of the ratio. 0 on fresh runs.
+         */
+        double journalWarmSeconds = 0.0;
         /** End-to-end wall time of the whole checkpointed phase
          * (warming plus all region simulations, as overlapped). */
         double phaseWallSeconds = 0.0;
@@ -226,11 +235,15 @@ class LoopPointPipeline
         /** okMask()[i] != 0 iff region i has usable metrics. */
         std::vector<uint8_t> okMask() const;
 
-        /** What one host thread would have needed (warming pass plus
-         * every region back to back). */
+        /** What one host thread would have needed for the work that
+         * actually ran (warming pass plus every simulated region back
+         * to back, minus warming attributable to journal hits). */
         double serialEquivalentSeconds() const;
         /** Measured host-parallel self-relative speedup:
-         * serial-equivalent time over measured phase wall time. */
+         * serial-equivalent time over measured phase wall time, both
+         * excluding journal-hit warming so resumed runs don't count
+         * replayed regions as parallel work on one side of the ratio
+         * only. 0 when nothing parallelizable ran (full resume). */
         double hostParallelSpeedup() const;
         /** hostParallelSpeedup() normalized by the worker count. */
         double parallelEfficiency() const;

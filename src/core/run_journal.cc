@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hh"
 #include "util/checksum.hh"
 
 namespace looppoint {
@@ -167,6 +168,13 @@ RunJournal::load(bool must_exist)
         }
         records.push_back(std::move(*rec));
     }
+    MetricsRegistry::global()
+        .counter("journal.loaded_records")
+        .add(records.size());
+    if (dropped)
+        MetricsRegistry::global()
+            .counter("journal.dropped_records")
+            .add(dropped);
     return std::nullopt;
 }
 
@@ -188,8 +196,14 @@ RunJournal::append(const Record &rec)
 {
     std::lock_guard<std::mutex> lock(mu);
     records.push_back(rec);
-    if (!rewriteLocked())
+    if (!rewriteLocked()) {
         ++writeFailures;
+        MetricsRegistry::global()
+            .counter("journal.failed_writes")
+            .add();
+    } else {
+        MetricsRegistry::global().counter("journal.appends").add();
+    }
 }
 
 size_t

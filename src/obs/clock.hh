@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Time source abstraction for the observability subsystem.
+ *
+ * The tracer stamps spans through a Clock interface instead of calling
+ * std::chrono directly so that tests can inject a FakeClock and get
+ * bit-deterministic traces (golden-file comparisons, exact nesting
+ * assertions). Production uses SteadyClock: monotonic, ns resolution,
+ * immune to wall-clock adjustments.
+ */
+
+#ifndef LOOPPOINT_OBS_CLOCK_HH
+#define LOOPPOINT_OBS_CLOCK_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace looppoint {
+
+/** Nanosecond time source; implementations must be thread-safe. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+    virtual uint64_t nowNs() const = 0;
+};
+
+/** Monotonic host clock (the production time source). */
+class SteadyClock final : public Clock
+{
+  public:
+    uint64_t
+    nowNs() const override
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    /** Shared immutable instance (stateless). */
+    static const SteadyClock &
+    instance()
+    {
+        static const SteadyClock clock;
+        return clock;
+    }
+};
+
+/** Manually-advanced clock for deterministic traces in tests. */
+class FakeClock final : public Clock
+{
+  public:
+    explicit FakeClock(uint64_t start_ns = 0) : t(start_ns) {}
+
+    uint64_t
+    nowNs() const override
+    {
+        return t.load(std::memory_order_relaxed);
+    }
+
+    void
+    advanceNs(uint64_t delta_ns)
+    {
+        t.fetch_add(delta_ns, std::memory_order_relaxed);
+    }
+
+    void
+    setNs(uint64_t now_ns)
+    {
+        t.store(now_ns, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> t;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_OBS_CLOCK_HH

@@ -1,0 +1,339 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace looppoint {
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : def;
+}
+
+std::string
+JsonValue::stringOr(std::string_view key, const std::string &def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->str : def;
+}
+
+namespace {
+
+/** Recursive-descent parser state over the input text. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text(text) {}
+
+    std::optional<JsonValue>
+    document(std::string *err)
+    {
+        JsonValue out;
+        if (!value(out, 0)) {
+            if (err)
+                *err = error;
+            return std::nullopt;
+        }
+        skipWs();
+        if (pos != text.size()) {
+            fail("trailing garbage after document");
+            if (err)
+                *err = error;
+            return std::nullopt;
+        }
+        return out;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what + " at byte " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.compare(pos, word.size(), word) != 0)
+            return fail("invalid literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                  if (pos + 4 > text.size())
+                      return fail("truncated \\u escape");
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = text[pos++];
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return fail("invalid \\u escape digit");
+                  }
+                  // UTF-8 encode (surrogate pairs are passed through
+                  // as two 3-byte sequences; our emitters never write
+                  // them, the parser just must not corrupt input).
+                  if (cp < 0x80) {
+                      out.push_back(static_cast<char>(cp));
+                  } else if (cp < 0x800) {
+                      out.push_back(
+                          static_cast<char>(0xC0 | (cp >> 6)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  } else {
+                      out.push_back(
+                          static_cast<char>(0xE0 | (cp >> 12)));
+                      out.push_back(static_cast<char>(
+                          0x80 | ((cp >> 6) & 0x3F)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  }
+                  break;
+              }
+              default:
+                  return fail("invalid escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        if (pos >= text.size() || !std::isdigit(
+                static_cast<unsigned char>(text[pos])))
+            return fail("malformed number");
+        // Leading zero may not be followed by more digits.
+        if (text[pos] == '0' && pos + 1 < text.size() &&
+            std::isdigit(static_cast<unsigned char>(text[pos + 1])))
+            return fail("number with leading zero");
+        auto digits = [&] {
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        };
+        digits();
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (pos >= text.size() || !std::isdigit(
+                    static_cast<unsigned char>(text[pos])))
+                return fail("malformed fraction");
+            digits();
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size() || !std::isdigit(
+                    static_cast<unsigned char>(text[pos])))
+                return fail("malformed exponent");
+            digits();
+        }
+        out.kind = JsonValue::Kind::Number;
+        const char *first = text.data() + start;
+        const char *last = text.data() + pos;
+        auto [ptr, ec] = std::from_chars(first, last, out.number);
+        if (ec != std::errc() || ptr != last)
+            return fail("unparseable number");
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        switch (c) {
+          case '{': {
+              ++pos;
+              out.kind = JsonValue::Kind::Object;
+              skipWs();
+              if (consume('}'))
+                  return true;
+              for (;;) {
+                  skipWs();
+                  std::string key;
+                  if (!parseString(key))
+                      return false;
+                  skipWs();
+                  if (!consume(':'))
+                      return fail("expected ':'");
+                  JsonValue member;
+                  if (!value(member, depth + 1))
+                      return false;
+                  out.object.emplace_back(std::move(key),
+                                          std::move(member));
+                  skipWs();
+                  if (consume(','))
+                      continue;
+                  if (consume('}'))
+                      return true;
+                  return fail("expected ',' or '}'");
+              }
+          }
+          case '[': {
+              ++pos;
+              out.kind = JsonValue::Kind::Array;
+              skipWs();
+              if (consume(']'))
+                  return true;
+              for (;;) {
+                  JsonValue elem;
+                  if (!value(elem, depth + 1))
+                      return false;
+                  out.array.push_back(std::move(elem));
+                  skipWs();
+                  if (consume(','))
+                      continue;
+                  if (consume(']'))
+                      return true;
+                  return fail("expected ',' or ']'");
+              }
+          }
+          case '"':
+              out.kind = JsonValue::Kind::String;
+              return parseString(out.str);
+          case 't':
+              out.kind = JsonValue::Kind::Bool;
+              out.boolean = true;
+              return literal("true");
+          case 'f':
+              out.kind = JsonValue::Kind::Bool;
+              out.boolean = false;
+              return literal("false");
+          case 'n':
+              out.kind = JsonValue::Kind::Null;
+              return literal("null");
+          default:
+              return parseNumber(out);
+        }
+    }
+
+    std::string_view text;
+    size_t pos = 0;
+    std::string error;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *err)
+{
+    return Parser(text).document(err);
+}
+
+void
+jsonEscape(std::ostream &os, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+              if (static_cast<unsigned char>(c) < 0x20) {
+                  char buf[8];
+                  std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                static_cast<unsigned char>(c));
+                  os << buf;
+              } else {
+                  os << c;
+              }
+        }
+    }
+}
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::ostringstream os;
+    os << '"';
+    jsonEscape(os, s);
+    os << '"';
+    return os.str();
+}
+
+} // namespace looppoint

@@ -1,0 +1,237 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hh"
+
+namespace looppoint {
+
+namespace {
+
+/** Round-robin stripe assignment: each thread grabs a stripe on first
+ * metric touch and keeps it for life. With kMetricStripes a power of
+ * two well above typical pool sizes, collisions only cost a shared
+ * fetch_add, never a lock. */
+std::atomic<uint32_t> nextStripe{0};
+
+uint32_t
+thisThreadStripe()
+{
+    thread_local uint32_t stripe =
+        nextStripe.fetch_add(1, std::memory_order_relaxed) %
+        kMetricStripes;
+    return stripe;
+}
+
+/** %.17g round-trips doubles; trim to a friendlier form when exact. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double back = 0.0;
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%g", v);
+    if (std::sscanf(shorter, "%lf", &back) == 1 && back == v)
+        return shorter;
+    return buf;
+}
+
+} // namespace
+
+uint32_t
+Counter::stripeIndex()
+{
+    return thisThreadStripe();
+}
+
+uint64_t
+Counter::value() const
+{
+    uint64_t total = 0;
+    for (const MetricCell &cell : cells)
+        total += cell.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+Histogram::Histogram(std::string name, std::vector<uint64_t> bounds,
+                     const std::atomic<bool> *enabled)
+    : nm(std::move(name)), upper(std::move(bounds)), on(enabled)
+{
+    std::sort(upper.begin(), upper.end());
+    upper.erase(std::unique(upper.begin(), upper.end()), upper.end());
+    const size_t n = upper.size() + 1; // + overflow bucket
+    for (Shard &s : shards) {
+        s.buckets = std::make_unique<std::atomic<uint64_t>[]>(n);
+        for (size_t i = 0; i < n; ++i)
+            s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Histogram::observe(uint64_t sample)
+{
+    if (!on->load(std::memory_order_relaxed))
+        return;
+    // First bucket whose inclusive upper bound fits the sample; the
+    // overflow bucket (index upper.size()) takes the rest.
+    size_t idx = std::lower_bound(upper.begin(), upper.end(), sample) -
+                 upper.begin();
+    Shard &s = shards[thisThreadStripe()];
+    s.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(sample, std::memory_order_relaxed);
+    s.cnt.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t total = 0;
+    for (const Shard &s : shards)
+        total += s.cnt.load(std::memory_order_relaxed);
+    return total;
+}
+
+uint64_t
+Histogram::sum() const
+{
+    uint64_t total = 0;
+    for (const Shard &s : shards)
+        total += s.sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> out(upper.size() + 1, 0);
+    for (const Shard &s : shards)
+        for (size_t i = 0; i < out.size(); ++i)
+            out[i] += s.buckets[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(mtx);
+    auto it = counters.find(name);
+    if (it == counters.end())
+        it = counters
+                 .emplace(name, std::unique_ptr<Counter>(
+                                    new Counter(name, &on)))
+                 .first;
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(mtx);
+    auto it = gauges.find(name);
+    if (it == gauges.end())
+        it = gauges
+                 .emplace(name,
+                          std::unique_ptr<Gauge>(new Gauge(name, &on)))
+                 .first;
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> g(mtx);
+    auto it = histograms.find(name);
+    if (it == histograms.end())
+        it = histograms
+                 .emplace(name, std::unique_ptr<Histogram>(new Histogram(
+                                    name, std::move(bounds), &on)))
+                 .first;
+    return *it->second;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> g(mtx);
+    for (auto &[name, c] : counters)
+        for (MetricCell &cell : c->cells)
+            cell.v.store(0, std::memory_order_relaxed);
+    for (auto &[name, gv] : gauges)
+        gv->val.store(0.0, std::memory_order_relaxed);
+    for (auto &[name, h] : histograms) {
+        for (Histogram::Shard &s : h->shards) {
+            for (size_t i = 0; i < h->upper.size() + 1; ++i)
+                s.buckets[i].store(0, std::memory_order_relaxed);
+            s.sum.store(0, std::memory_order_relaxed);
+            s.cnt.store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+MetricsRegistry::printText(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> g(mtx);
+    for (const auto &[name, c] : counters)
+        os << name << " " << c->value() << "\n";
+    for (const auto &[name, gv] : gauges)
+        os << name << " " << formatDouble(gv->value()) << "\n";
+    for (const auto &[name, h] : histograms) {
+        const auto buckets = h->bucketCounts();
+        for (size_t i = 0; i < h->upper.size(); ++i)
+            os << name << "{le=" << h->upper[i] << "} " << buckets[i]
+               << "\n";
+        os << name << "{le=+inf} " << buckets.back() << "\n";
+        os << name << ".sum " << h->sum() << "\n";
+        os << name << ".count " << h->count() << "\n";
+    }
+}
+
+void
+MetricsRegistry::printJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> g(mtx);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters) {
+        os << (first ? "\n" : ",\n") << "    " << jsonQuote(name)
+           << ": " << c->value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, gv] : gauges) {
+        os << (first ? "\n" : ",\n") << "    " << jsonQuote(name)
+           << ": " << formatDouble(gv->value());
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        os << (first ? "\n" : ",\n") << "    " << jsonQuote(name)
+           << ": {\"bounds\": [";
+        for (size_t i = 0; i < h->upper.size(); ++i)
+            os << (i ? ", " : "") << h->upper[i];
+        os << "], \"buckets\": [";
+        const auto buckets = h->bucketCounts();
+        for (size_t i = 0; i < buckets.size(); ++i)
+            os << (i ? ", " : "") << buckets[i];
+        os << "], \"sum\": " << h->sum()
+           << ", \"count\": " << h->count() << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace looppoint

@@ -1,0 +1,294 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hh"
+
+namespace looppoint {
+
+namespace {
+
+/** Unique id per Tracer instance, so the thread-local cache below can
+ * never confuse a dead tracer with a new one at the same address. */
+std::atomic<uint64_t> nextTracerId{1};
+
+/** Per-thread cache of (tracer id -> buffer). Entries for destroyed
+ * tracers are harmless: their ids are never issued again. */
+struct TlsBufEntry
+{
+    uint64_t tracerId;
+    void *buf;
+};
+thread_local std::vector<TlsBufEntry> tlsBufs;
+
+} // namespace
+
+Tracer::Tracer(const Clock *clock, size_t ring_capacity)
+    : clk(clock ? clock : &SteadyClock::instance()),
+      ringCapacity(ring_capacity ? ring_capacity : 1),
+      tracerId(nextTracerId.fetch_add(1, std::memory_order_relaxed))
+{}
+
+Tracer::~Tracer() = default;
+
+void
+Tracer::setEnabled(bool enable)
+{
+    on.store(enable, std::memory_order_relaxed);
+}
+
+void
+Tracer::setClock(const Clock *clock)
+{
+    clk = clock ? clock : &SteadyClock::instance();
+}
+
+Tracer::ThreadBuf &
+Tracer::threadBuf()
+{
+    for (const TlsBufEntry &e : tlsBufs)
+        if (e.tracerId == tracerId)
+            return *static_cast<ThreadBuf *>(e.buf);
+    auto fresh = std::make_unique<ThreadBuf>();
+    ThreadBuf *buf;
+    {
+        std::lock_guard<std::mutex> g(mtx);
+        fresh->track = static_cast<uint32_t>(trackNames.size());
+        trackNames.push_back("host thread " +
+                             std::to_string(fresh->track));
+        bufs.push_back(std::move(fresh));
+        buf = bufs.back().get();
+    }
+    tlsBufs.push_back({tracerId, buf});
+    return *buf;
+}
+
+void
+Tracer::nameCurrentThread(const std::string &name)
+{
+    ThreadBuf &buf = threadBuf();
+    std::lock_guard<std::mutex> g(mtx);
+    trackNames[buf.track] = name;
+}
+
+uint32_t
+Tracer::virtualTrack(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(mtx);
+    for (uint32_t i = 0; i < trackNames.size(); ++i)
+        if (trackNames[i] == name)
+            return i;
+    trackNames.push_back(name);
+    return static_cast<uint32_t>(trackNames.size() - 1);
+}
+
+void
+Tracer::record(TraceEvent ev)
+{
+    if (!enabled())
+        return;
+    ThreadBuf &buf = threadBuf();
+    if (ev.track == TraceEvent::kCallerTrack)
+        ev.track = buf.track;
+    std::lock_guard<std::mutex> g(buf.mtx);
+    if (buf.ring.size() < ringCapacity) {
+        buf.ring.push_back(std::move(ev));
+    } else {
+        buf.ring[buf.next] = std::move(ev);
+        buf.next = (buf.next + 1) % ringCapacity;
+        ++buf.dropped;
+    }
+}
+
+void
+Tracer::instant(std::string name, std::vector<TraceArg> args)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.phase = 'i';
+    ev.tsNs = nowNs();
+    ev.args = std::move(args);
+    record(std::move(ev));
+}
+
+size_t
+Tracer::pendingEvents() const
+{
+    std::lock_guard<std::mutex> g(mtx);
+    size_t n = 0;
+    for (const auto &buf : bufs) {
+        std::lock_guard<std::mutex> bg(buf->mtx);
+        n += buf->ring.size();
+    }
+    return n;
+}
+
+size_t
+Tracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> g(mtx);
+    size_t n = 0;
+    for (const auto &buf : bufs) {
+        std::lock_guard<std::mutex> bg(buf->mtx);
+        n += buf->dropped;
+    }
+    return n;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> g(mtx);
+    for (const auto &buf : bufs) {
+        std::lock_guard<std::mutex> bg(buf->mtx);
+        buf->ring.clear();
+        buf->next = 0;
+        buf->dropped = 0;
+    }
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &os)
+{
+    // Drain every ring and snapshot the track names under the lock,
+    // then format outside it.
+    std::vector<TraceEvent> events;
+    std::vector<std::string> tracks;
+    uint64_t dropped = 0;
+    {
+        std::lock_guard<std::mutex> g(mtx);
+        tracks = trackNames;
+        for (const auto &buf : bufs) {
+            std::lock_guard<std::mutex> bg(buf->mtx);
+            // Restore chronological order of a wrapped ring: the
+            // oldest surviving event sits at `next`.
+            for (size_t i = 0; i < buf->ring.size(); ++i)
+                events.push_back(std::move(
+                    buf->ring[(buf->next + i) % buf->ring.size()]));
+            dropped += buf->dropped;
+            buf->ring.clear();
+            buf->next = 0;
+            buf->dropped = 0;
+        }
+    }
+
+    // Chrome/Perfetto sort by ts; for equal timestamps a longer span
+    // must precede its children for nesting to render. The full key
+    // makes the output deterministic under a FakeClock.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.tsNs != b.tsNs)
+                             return a.tsNs < b.tsNs;
+                         if (a.durNs != b.durNs)
+                             return a.durNs > b.durNs;
+                         if (a.track != b.track)
+                             return a.track < b.track;
+                         return a.name < b.name;
+                     });
+
+    auto us = [](uint64_t ns) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                      static_cast<unsigned long long>(ns / 1000),
+                      static_cast<unsigned long long>(ns % 1000));
+        return std::string(buf);
+    };
+
+    os << "{\n";
+    os << "  \"displayTimeUnit\": \"ms\",\n";
+    os << "  \"otherData\": {\"tool\": \"looppoint\", "
+          "\"dropped_events\": "
+       << dropped << "},\n";
+    os << "  \"traceEvents\": [\n";
+
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    sep();
+    os << "    {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+          "\"tid\": 0, \"args\": {\"name\": \"looppoint\"}}";
+    for (uint32_t t = 0; t < tracks.size(); ++t) {
+        sep();
+        os << "    {\"ph\": \"M\", \"name\": \"thread_name\", "
+              "\"pid\": 1, \"tid\": "
+           << t << ", \"args\": {\"name\": " << jsonQuote(tracks[t])
+           << "}}";
+    }
+
+    for (const TraceEvent &ev : events) {
+        sep();
+        os << "    {\"ph\": \"" << ev.phase << "\", \"name\": "
+           << jsonQuote(ev.name) << ", \"cat\": \"looppoint\", "
+              "\"pid\": 1, \"tid\": "
+           << ev.track << ", \"ts\": " << us(ev.tsNs);
+        if (ev.phase == 'X')
+            os << ", \"dur\": " << us(ev.durNs);
+        if (ev.phase == 'i')
+            os << ", \"s\": \"t\"";
+        if (!ev.args.empty()) {
+            os << ", \"args\": {";
+            for (size_t i = 0; i < ev.args.size(); ++i) {
+                const TraceArg &a = ev.args[i];
+                if (i)
+                    os << ", ";
+                os << jsonQuote(a.key) << ": ";
+                if (a.quoted)
+                    os << jsonQuote(a.value);
+                else
+                    os << a.value;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+ScopedSpan &
+ScopedSpan::arg(std::string_view key, double value)
+{
+    if (t) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        // NaN/inf have no JSON number form; quote them instead of
+        // emitting an unparseable document.
+        ev.args.push_back({std::string(key), buf,
+                           /*quoted=*/!std::isfinite(value)});
+    }
+    return *this;
+}
+
+void
+ScopedSpan::finish()
+{
+    if (!t)
+        return;
+    ev.tsNs = t0;
+    ev.durNs = t->nowNs() - t0;
+    if (mirrorTrack != TraceEvent::kCallerTrack) {
+        TraceEvent copy = ev;
+        copy.track = mirrorTrack;
+        copy.args.push_back({"mirror", "1", /*quoted=*/false});
+        t->record(std::move(copy));
+    }
+    t->record(std::move(ev));
+    t = nullptr;
+}
+
+} // namespace looppoint

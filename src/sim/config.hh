@@ -44,6 +44,19 @@ struct AnalysisConfig
     bool raceCheck = false;
 };
 
+/**
+ * Observability switches (src/obs). Host-side only: they select what
+ * telemetry is collected, never what is simulated, so results are
+ * bit-identical on or off. Deliberately excluded from
+ * SimConfig::describe() — the run-journal fingerprint must not change
+ * when tracing is toggled, or resume would miss valid records.
+ */
+struct ObsConfig
+{
+    bool trace = false;   ///< span tracer -> Chrome/Perfetto JSON
+    bool metrics = false; ///< counters/gauges/histograms registry
+};
+
 /** Full simulated-system configuration (paper Table I). */
 struct SimConfig
 {
@@ -94,6 +107,9 @@ struct SimConfig
 
     /** Optional guest-program verification passes. */
     AnalysisConfig analysis;
+
+    /** Telemetry switches (host-side; see ObsConfig). */
+    ObsConfig obs;
 
     /**
      * Per-region retry budget for checkpointed simulation: a region

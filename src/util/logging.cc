@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -8,7 +9,29 @@ namespace looppoint {
 
 namespace {
 
-bool quietMode = false;
+/** Programmatic override; negative = none (use the env default). */
+int levelOverride = -1;
+
+LogLevel
+envDefaultLevel()
+{
+    static const LogLevel level = [] {
+        const char *env = std::getenv("LOOPPOINT_LOG");
+        if (!env || !*env)
+            return LogLevel::Info;
+        bool ok = false;
+        LogLevel parsed = parseLogLevel(env, &ok);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "warn: LOOPPOINT_LOG='%s' is not a log level "
+                         "(quiet|error|warn|info|debug); using info\n",
+                         env);
+            return LogLevel::Info;
+        }
+        return parsed;
+    }();
+    return level;
+}
 
 std::string
 vFormat(const char *fmt, va_list ap)
@@ -25,6 +48,45 @@ vFormat(const char *fmt, va_list ap)
 }
 
 } // namespace
+
+LogLevel
+parseLogLevel(const std::string &name, bool *ok)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (ok)
+        *ok = true;
+    if (lower == "quiet" || lower == "none")
+        return LogLevel::Quiet;
+    if (lower == "error")
+        return LogLevel::Error;
+    if (lower == "warn" || lower == "warning")
+        return LogLevel::Warn;
+    if (lower == "info")
+        return LogLevel::Info;
+    if (lower == "debug")
+        return LogLevel::Debug;
+    if (ok)
+        *ok = false;
+    return LogLevel::Info;
+}
+
+LogLevel
+logLevel()
+{
+    return levelOverride >= 0
+               ? static_cast<LogLevel>(levelOverride)
+               : envDefaultLevel();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelOverride = static_cast<int>(level);
+}
 
 std::string
 strFormat(const char *fmt, ...)
@@ -59,9 +121,21 @@ panic(const char *fmt, ...)
 }
 
 void
+logError(const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Error)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vFormat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "error: %s\n", msg.c_str());
+}
+
+void
 warn(const char *fmt, ...)
 {
-    if (quietMode)
+    if (logLevel() < LogLevel::Warn)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -73,7 +147,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietMode)
+    if (logLevel() < LogLevel::Info)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -83,9 +157,24 @@ inform(const char *fmt, ...)
 }
 
 void
+debug(const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vFormat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    if (quiet)
+        setLogLevel(LogLevel::Error);
+    else
+        levelOverride = -1;
 }
 
 } // namespace looppoint

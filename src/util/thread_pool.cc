@@ -1,5 +1,8 @@
 #include "util/thread_pool.hh"
 
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace looppoint {
@@ -24,9 +27,18 @@ ThreadPool::defaultWorkers()
 ThreadPool::ThreadPool(uint32_t num_workers)
 {
     uint32_t n = num_workers ? num_workers : defaultWorkers();
+    MetricsRegistry &reg = MetricsRegistry::global();
+    statExternalSteals = &reg.counter("pool.steals.external");
     workers.reserve(n);
-    for (uint32_t wid = 0; wid < n; ++wid)
-        workers.push_back(std::make_unique<Worker>());
+    for (uint32_t wid = 0; wid < n; ++wid) {
+        auto w = std::make_unique<Worker>();
+        const std::string prefix =
+            "pool.worker" + std::to_string(wid);
+        w->statTasks = &reg.counter(prefix + ".tasks");
+        w->statSteals = &reg.counter(prefix + ".steals");
+        w->statIdleNs = &reg.counter(prefix + ".idle_ns");
+        workers.push_back(std::move(w));
+    }
     for (uint32_t wid = 0; wid < n; ++wid)
         workers[wid]->thread =
             std::thread([this, wid] { workerLoop(wid); });
@@ -125,6 +137,10 @@ ThreadPool::steal(uint32_t wid, Task &out)
             // The requeued tasks are up for grabs again.
             bumpEpoch();
         }
+        if (have_deque)
+            workers[wid]->statSteals->add();
+        else
+            statExternalSteals->add();
         return true;
     }
     return false;
@@ -154,6 +170,11 @@ ThreadPool::workerLoop(uint32_t wid)
 {
     tlsPool = this;
     tlsWid = wid;
+    // Claim a named trace track so spans recorded while running pool
+    // tasks land on a recognizable timeline.
+    if (Tracer::global().enabled())
+        Tracer::global().nameCurrentThread(
+            "pool worker " + std::to_string(wid));
     for (;;) {
         // Read the epoch *before* scanning, so a push that lands
         // between a failed scan and the wait still wakes us.
@@ -165,14 +186,23 @@ ThreadPool::workerLoop(uint32_t wid)
         Task task;
         if (takeTask(wid, task)) {
             task();
+            workers[wid]->statTasks->add();
             continue;
         }
+        // Clock reads only when someone is scraping; Counter::add
+        // re-checks the enabled flag itself.
+        const bool timing = MetricsRegistry::global().enabled();
+        const uint64_t idle0 =
+            timing ? SteadyClock::instance().nowNs() : 0;
         std::unique_lock<std::mutex> g(sleepMtx);
         if (stopping)
             break;
         sleepCv.wait(g, [&] {
             return wakeEpoch != epoch || stopping;
         });
+        if (timing)
+            workers[wid]->statIdleNs->add(
+                SteadyClock::instance().nowNs() - idle0);
         if (stopping && wakeEpoch == epoch)
             break;
     }

@@ -42,6 +42,8 @@
 
 namespace looppoint {
 
+class Counter;
+
 /** See file comment. */
 class ThreadPool
 {
@@ -136,6 +138,12 @@ class ThreadPool
         std::mutex mtx;
         std::deque<Task> deque;
         std::thread thread;
+        // Telemetry handles, owned by the global MetricsRegistry and
+        // wired in the pool constructor. Updates are no-ops while the
+        // registry is disabled.
+        Counter *statTasks = nullptr;
+        Counter *statSteals = nullptr;
+        Counter *statIdleNs = nullptr;
     };
 
     void enqueue(Task task);
@@ -162,6 +170,9 @@ class ThreadPool
     bool stopping = false;
 
     std::atomic<uint64_t> pushCursor{0};
+
+    /** Steals performed by threads outside the pool (helping APIs). */
+    Counter *statExternalSteals = nullptr;
 };
 
 } // namespace looppoint

@@ -193,7 +193,7 @@ parseCli(int argc, char **argv)
         } else if (arg == "--json") {
             opts.json = true;
         } else {
-            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            logError("unknown option '%s'", arg.c_str());
             usage();
             std::exit(2);
         }
@@ -250,7 +250,7 @@ main(int argc, char **argv)
     try {
         cli = parseCli(argc, argv);
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "lp_lint: %s\n", e.what());
+        logError("lp_lint: %s", e.what());
         return 2;
     }
     int rc = 0;
@@ -266,7 +266,7 @@ main(int argc, char **argv)
             std::printf("%zu finding(s), %zu error(s)\n",
                         sink.diagnostics().size(), sink.errors());
     } catch (const FatalError &e) {
-        std::fprintf(stderr, "lp_lint: %s\n", e.what());
+        logError("lp_lint: %s", e.what());
         return 3;
     }
     return rc;

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "analysis/diagnostic.hh"
 #include "core/experiment.hh"
 #include "exec/driver.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -51,6 +54,8 @@ struct CliOptions
     std::string faultSpec;
     std::string journalPath;
     bool resume = false;
+    std::string tracePath;
+    std::string metricsPath;
 };
 
 void
@@ -92,6 +97,12 @@ usage()
         "      --inject-fault=SPEC  deterministic fault injection, e.g.\n"
         "                       sim:region=3,kind=throw|diverge|kill\n"
         "                       [,times=M]; clauses separated by ';'\n"
+        "      --trace=PATH     write a Chrome/Perfetto trace of the\n"
+        "                       whole pipeline to PATH (open it in\n"
+        "                       ui.perfetto.dev or chrome://tracing;\n"
+        "                       inspect it with lp_report)\n"
+        "      --metrics=PATH   write the metrics registry to PATH\n"
+        "                       (*.txt = text, otherwise JSON)\n"
         "  -h, --help           this message\n"
         "\nexit codes:\n"
         "  0  success, full coverage\n"
@@ -246,11 +257,15 @@ parseCli(int argc, char **argv)
         } else if (parseArg(argc, argv, i, "", "--inject-fault",
                             &value)) {
             opts.faultSpec = value;
+        } else if (parseArg(argc, argv, i, "", "--trace", &value)) {
+            opts.tracePath = value;
+        } else if (parseArg(argc, argv, i, "", "--metrics", &value)) {
+            opts.metricsPath = value;
         } else if (arg == "--force" || arg == "--reuse-profile" ||
                    arg == "--reuse-fullsim") {
             // Artifact compatibility: runs are always fresh.
         } else {
-            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            logError("unknown option '%s'", arg.c_str());
             usage();
             std::exit(2);
         }
@@ -315,6 +330,8 @@ runOne(const std::string &program, const CliOptions &cli)
     cfg.sim.analysis.raceCheck = cli.raceCheck;
     cfg.sim.regionRetries = cli.regionRetries;
     cfg.sim.faults = FaultPlan::parse(cli.faultSpec);
+    cfg.sim.obs.trace = !cli.tracePath.empty();
+    cfg.sim.obs.metrics = !cli.metricsPath.empty();
     cfg.journalPath = cli.journalPath;
     cfg.resume = cli.resume;
     // Test-class runs are small; shrink slices so clustering has
@@ -381,6 +398,48 @@ runOne(const std::string &program, const CliOptions &cli)
     return r.coverage < 1.0 ? 1 : 0;
 }
 
+/**
+ * Flush the accumulated observability outputs (all programs of the
+ * invocation share the global tracer/registry). Returns 0, or 3 when
+ * a requested output could not be written.
+ */
+int
+writeObsOutputs(const CliOptions &cli)
+{
+    int rc = 0;
+    if (!cli.tracePath.empty()) {
+        std::ofstream os(cli.tracePath);
+        if (!os) {
+            logError("cannot write trace to '%s'",
+                     cli.tracePath.c_str());
+            rc = 3;
+        } else {
+            Tracer::global().writeChromeTrace(os);
+            std::printf("trace          : %s (load in "
+                        "ui.perfetto.dev or chrome://tracing)\n",
+                        cli.tracePath.c_str());
+        }
+    }
+    if (!cli.metricsPath.empty()) {
+        std::ofstream os(cli.metricsPath);
+        if (!os) {
+            logError("cannot write metrics to '%s'",
+                     cli.metricsPath.c_str());
+            rc = 3;
+        } else {
+            const std::string &p = cli.metricsPath;
+            const bool text = p.size() >= 4 &&
+                              p.compare(p.size() - 4, 4, ".txt") == 0;
+            if (text)
+                MetricsRegistry::global().printText(os);
+            else
+                MetricsRegistry::global().printJson(os);
+            std::printf("metrics        : %s\n", p.c_str());
+        }
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -392,7 +451,7 @@ main(int argc, char **argv)
     try {
         cli = parseCli(argc, argv);
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "run_looppoint: %s\n", e.what());
+        logError("run_looppoint: %s", e.what());
         return 2;
     }
     int rc = 0;
@@ -400,11 +459,14 @@ main(int argc, char **argv)
         for (const auto &program : cli.programs)
             rc = std::max(rc, runOne(program, cli));
     } catch (const InjectedKill &e) {
-        std::fprintf(stderr, "run_looppoint: %s\n", e.what());
+        // A simulated host crash: like the real thing, it leaves no
+        // trace/metrics files behind.
+        logError("run_looppoint: %s", e.what());
         return 3;
     } catch (const FatalError &e) {
-        std::fprintf(stderr, "run_looppoint: %s\n", e.what());
+        logError("run_looppoint: %s", e.what());
         return 3;
     }
+    rc = std::max(rc, writeObsOutputs(cli));
     return rc;
 }
