@@ -31,6 +31,13 @@
 # BENCH_hotpath.json baseline to assert the disabled-obs overhead
 # stays within 2%.
 #
+# With --dist-smoke the multi-process region farm is exercised end to
+# end: spec-roms-1 train runs under --backend=procs --workers=4 and
+# its region results are diffed bit-exact against the pool backend,
+# then a worker-kill fault is replayed under procs to check the
+# respawn/retry path recovers full coverage, and the Dist test
+# subset runs.
+#
 # With --faults the fault-tolerance layer is exercised under
 # AddressSanitizer (-DLOOPPOINT_SANITIZE=address in build-asan/): the
 # corruption/journal/fault-injection test subset runs first, then
@@ -97,6 +104,59 @@ if [ "$1" = "--faults" ]; then
     } || exit 1
     rm -f "$journal" "$journal.kill"
     echo "faults OK"
+    exit 0
+fi
+
+if [ "$1" = "--dist-smoke" ]; then
+    echo "== dist smoke: procs backend vs pool, bit-exact =="
+    cmake -B build -S . || exit 1
+    cmake --build build -j --target run_looppoint lp_tests || exit 1
+    lp=build/tools/run_looppoint
+    common="-p spec-roms-1 -i train --no-fullsim -j 4"
+    out=/tmp/lp_dist
+    # shellcheck disable=SC2086
+    {
+        $lp $common --backend=pool > "$out.pool.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "dist-smoke FAIL: pool run exited $rc (want 0)"; exit 1; }
+
+        $lp $common --backend=procs > "$out.procs.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "dist-smoke FAIL: procs run exited $rc (want 0)"; exit 1; }
+        grep -q 'backend        : procs' "$out.procs.txt" || {
+            echo "dist-smoke FAIL: procs run did not report the procs backend"; exit 1; }
+        # Bit-exact modulo the lines that name the backend or measure
+        # host wall-clock.
+        if ! diff <(grep -vE '^(journal|host-parallel|backend|actual speedup)' "$out.pool.txt") \
+                  <(grep -vE '^(journal|host-parallel|backend|actual speedup)' "$out.procs.txt"); then
+            echo "dist-smoke FAIL: procs results differ from pool"; exit 1
+        fi
+
+        # A SIGKILL'd worker must be respawned and the region retried
+        # back to full coverage, with results still bit-exact.
+        $lp $common --backend=procs --region-retries=1 \
+            --inject-fault='sim:region=0,kind=kill,times=1' > "$out.killed.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "dist-smoke FAIL: worker-kill run exited $rc (want 0)"; exit 1; }
+        grep -q 'coverage       : 1\.0000' "$out.killed.txt" || {
+            echo "dist-smoke FAIL: worker kill did not recover full coverage"; exit 1; }
+        grep -q '1 death(s), 1 respawn(s)' "$out.killed.txt" || {
+            echo "dist-smoke FAIL: worker kill did not report a death + respawn"; exit 1; }
+        # The recovery leaves a warning-severity finding (and its
+        # section's blank line) in the report; every simulated metric
+        # must still match the pool.
+        filter='^(journal|host-parallel|backend|actual speedup|warning \[fault-tolerance\]|analysis |$)'
+        if ! diff <(grep -vE "$filter" "$out.pool.txt") \
+                  <(grep -vE "$filter" "$out.killed.txt"); then
+            echo "dist-smoke FAIL: worker-kill results differ from pool"; exit 1
+        fi
+    } || exit 1
+
+    echo "== dist smoke: wire-protocol + backend test subset =="
+    ctest --test-dir build --output-on-failure -R \
+        'DistFrame|DistProtocol|DistWorkers|ProcsBackend|PoolBackend' || exit 1
+    rm -f "$out".*.txt
+    echo "dist-smoke OK"
     exit 0
 fi
 

@@ -8,7 +8,9 @@
 
 #include "analysis/program_lint.hh"
 #include "analysis/race_detector.hh"
+#include "core/region_exec.hh"
 #include "core/run_journal.hh"
+#include "dist/region_farm.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "dcfg/dcfg.hh"
@@ -18,17 +20,6 @@
 #include "util/thread_pool.hh"
 
 namespace looppoint {
-
-namespace {
-
-/** Resolve a jobs knob: 0 = hardware concurrency, otherwise as is. */
-uint32_t
-effectiveJobs(uint32_t jobs)
-{
-    return jobs ? jobs : ThreadPool::defaultWorkers();
-}
-
-} // namespace
 
 size_t
 LoopPointPipeline::CheckpointedSimResult::failedRegions() const
@@ -117,7 +108,7 @@ LoopPointPipeline::~LoopPointPipeline() = default;
 ThreadPool *
 LoopPointPipeline::poolFor(uint32_t jobs) const
 {
-    uint32_t workers = effectiveJobs(jobs);
+    uint32_t workers = ThreadPool::resolveWorkers(jobs);
     if (workers <= 1)
         return nullptr;
     if (!sharedPool || sharedPool->numWorkers() != workers)
@@ -334,31 +325,6 @@ LoopPointPipeline::simulateFull(const SimConfig &sim_cfg) const
     return sim.run();
 }
 
-namespace {
-
-/**
- * One region checkpoint in flight: a deep snapshot of the warming
- * simulation plus its private replay arbiter, heap-held so the
- * snapshot outlives the warming loop iteration that took it. The
- * arbiter is rebound in the constructor (the MulticoreSim copy aliases
- * the source's arbiter otherwise).
- */
-struct RegionSnapshot
-{
-    MulticoreSim sim;
-    ReplayArbiter arbiter;
-
-    RegionSnapshot(const MulticoreSim &base,
-                   const ReplayArbiter &base_arbiter, bool constrained)
-        : sim(base), arbiter(base_arbiter)
-    {
-        if (constrained)
-            sim.engine().setArbiter(&arbiter);
-    }
-};
-
-} // namespace
-
 LoopPointPipeline::CheckpointedSimResult
 LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
                                                const SimConfig &sim_cfg,
@@ -371,7 +337,8 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     };
 
     CheckpointedSimResult out;
-    out.jobs = effectiveJobs(sim_cfg.jobs);
+    out.jobs = ThreadPool::resolveWorkers(sim_cfg.jobs);
+    out.backend = sim_cfg.backend;
     out.regionMetrics.resize(lp.regions.size());
     out.regionWallSeconds.resize(lp.regions.size(), 0.0);
     out.regionOutcomes.resize(lp.regions.size());
@@ -417,37 +384,123 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     MulticoreSim base(*prog, execConfig(), sim_cfg,
                       constrained ? &base_arbiter : nullptr);
 
-    // Checkpoint fanout: the warming pass (necessarily serial — it is
-    // one execution) advances in program order; each snapshot it takes
-    // goes straight to the pool, so region bodies simulate while
-    // warming continues toward the next checkpoint. jobs == 1 runs
-    // the snapshot inline, which is exactly the old serial schedule.
-    ThreadPool *pool = out.jobs > 1 ? poolFor(out.jobs) : nullptr;
-    std::vector<std::future<void>> inflight;
-
-    // If anything unwinds this frame while region tasks are still
-    // running (an injected kill surfacing through the helping join, a
-    // marker-resolution FatalError on the warming thread), the tasks
-    // must be drained before `out` and the snapshots leave scope.
-    struct DrainGuard
-    {
-        ThreadPool *pool;
-        std::vector<std::future<void>> *inflight;
-        ~DrainGuard()
-        {
-            if (!pool)
-                return;
-            for (auto &fut : *inflight) {
-                if (!fut.valid())
-                    continue;
-                try {
-                    pool->waitHelping(fut);
-                } catch (...) {
-                    // Already unwinding; the first error wins.
-                }
-            }
+    // Every region reports here, whichever backend ran it. The pool
+    // backend may invoke this from several worker threads at once:
+    // everything touched is either index-addressed (the out arrays),
+    // atomic (counters), or internally locked (sink, journal) —
+    // exactly the concurrency profile of the historical in-task code.
+    const uint32_t max_attempts = 1 + sim_cfg.regionRetries;
+    auto on_completion = [&](const RegionCompletion &c) {
+        const size_t idx = c.item.index;
+        RegionOutcome &outcome = out.regionOutcomes[idx];
+        outcome.ok = c.result.ok;
+        outcome.attempts = c.result.attempts;
+        outcome.error = c.result.error;
+        if (c.killed) {
+            // Simulated host death under the pool backend: the phase
+            // is about to unwind; record the outcome and nothing else.
+            return;
         }
-    } drain_guard{pool, &inflight};
+        if (c.result.ok) {
+            const SimMetrics &m = c.result.metrics;
+            // idx is unique per region: each completion writes its
+            // own slot.
+            out.regionMetrics[idx] = m;
+            stat_completed.add();
+            if (c.result.attempts > 1)
+                stat_retries.add(c.result.attempts - 1);
+            stat_l2_mpki.observe(
+                static_cast<uint64_t>(m.l2Mpki() * 1000.0));
+            if (c.result.attempts > 1)
+                sink.warning("fault-tolerance",
+                             "region " + std::to_string(idx),
+                             "recovered on attempt " +
+                                 std::to_string(c.result.attempts) +
+                                 " of " + std::to_string(max_attempts));
+            if (journal) {
+                RunJournal::Record rec;
+                rec.regionIndex = static_cast<uint32_t>(idx);
+                rec.start = c.item.start;
+                rec.end = c.item.end;
+                rec.multiplier = c.item.multiplier;
+                rec.attempts = c.result.attempts;
+                rec.metrics = m;
+                journal->append(rec);
+            }
+        } else {
+            sink.error("fault-tolerance",
+                       "region " + std::to_string(idx),
+                       "dropped after " +
+                           std::to_string(c.result.attempts) +
+                           " attempt(s): " + c.result.error);
+            stat_failed.add();
+        }
+        out.regionWallSeconds[idx] = c.wallSeconds;
+        stat_wall_us.observe(
+            static_cast<uint64_t>(c.wallSeconds * 1e6));
+    };
+
+    // Re-warm for a procs retry whose warm state died with its worker:
+    // replay the warming pass from program start with the *exact*
+    // original stop schedule — the fast-forward scheduler's quantum
+    // rotation restarts at each stop, so every stop (not just the
+    // target's) shapes the trajectory — and hand the warm state to
+    // the backend. Bit-identical to the first dispatch by
+    // construction.
+    auto rewarm = [&](uint32_t region_index,
+                      const std::function<void(MulticoreSim &,
+                                               const ReplayArbiter &)>
+                          &use) {
+        ScopedSpan rewarm_span(tracer, "warm.rewarm");
+        rewarm_span.arg("region", static_cast<uint64_t>(region_index));
+        ReplayArbiter arbiter(lp.pinball.log);
+        MulticoreSim sim(*prog, execConfig(), sim_cfg,
+                         constrained ? &arbiter : nullptr);
+        for (size_t j : order) {
+            const LoopPointRegion &r = lp.regions[j];
+            if (r.start.pc != 0 && r.start.count > 0) {
+                BlockId start_block = block_of(r.start.pc);
+                sim.fastForwardUntil(start_block, r.start.count,
+                                     /*warm=*/true);
+            }
+            if (j == region_index)
+                break;
+        }
+        use(sim, arbiter);
+    };
+
+    // Checkpoint fanout: the warming pass (necessarily serial — it is
+    // one execution) advances in program order; each checkpoint it
+    // reaches goes straight to the execution backend, so region
+    // bodies simulate while warming continues toward the next
+    // checkpoint. The pool backend with jobs == 1 runs each region
+    // inline, which is exactly the old serial schedule. The backend
+    // is destroyed before `out` and the sink on unwind, draining (or
+    // killing) whatever is still in flight.
+    std::unique_ptr<RegionExecBackend> backend;
+    if (sim_cfg.backend == ExecBackendKind::Procs) {
+        // The coordinator must be single-threaded at every fork; the
+        // shared pool (from the analysis phase) has to go first.
+        sharedPool.reset();
+        ProcsBackendOptions procs_opts;
+        procs_opts.workers = out.jobs;
+        procs_opts.workerTimeoutSeconds = sim_cfg.workerTimeoutSeconds;
+        procs_opts.faults = sim_cfg.faults;
+        // Checkpoint-shipping context: workers rebuild their simulator
+        // from the same program + configs the warming pass uses, and
+        // each slot's arena is sized for this configuration's
+        // microarchitectural state image.
+        procs_opts.prog = prog;
+        procs_opts.execCfg = execConfig();
+        procs_opts.simCfg = sim_cfg;
+        procs_opts.syncLog = &lp.pinball.log;
+        procs_opts.arenaBytes = base.microarchStateBytes();
+        backend = std::make_unique<ProcsBackend>(
+            std::move(procs_opts), on_completion, rewarm);
+    } else {
+        ThreadPool *pool = out.jobs > 1 ? poolFor(out.jobs) : nullptr;
+        backend = makePoolBackend(pool, sim_cfg.faults, on_completion);
+    }
 
     for (size_t idx : order) {
         const LoopPointRegion &region = lp.regions[idx];
@@ -495,13 +548,10 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
             }
         }
 
-        // Snapshot = region pinball with warm microarchitectural
-        // state; simulate it in isolation. Marker blocks resolve on
-        // the warming thread so pool tasks cannot throw FatalError.
+        // Marker blocks resolve on the warming thread so backend
+        // execution can never throw a missing-block FatalError.
         const BlockId end_block =
             region.end.pc ? block_of(region.end.pc) : kInvalidBlock;
-        auto snap = std::make_shared<RegionSnapshot>(base, base_arbiter,
-                                                     constrained);
 
         // Divergence watchdog budget: generous over any legitimate
         // spin inflation, so it only fires when the end marker is
@@ -515,167 +565,27 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
                 budget = std::numeric_limits<uint64_t>::max();
         }
 
-        auto simulate = [snap, end_block, idx, &region, &out, &sim_cfg,
-                         &sink, journal, constrained, budget,
-                         seconds_since, &tracer, &stat_completed,
-                         &stat_failed, &stat_retries, &stat_wall_us,
-                         &stat_l2_mpki] {
-            auto t_region = clock::now();
-            // The span lands on the executing host thread's track and
-            // is mirrored onto the region's own virtual track, so the
-            // trace shows both "what each worker did" and "when each
-            // region ran".
-            ScopedSpan region_span(tracer, "region.sim");
-            if (region_span.active())
-                region_span
-                    .mirror(tracer.virtualTrack(
-                        "region " + std::to_string(idx)))
-                    .arg("region", static_cast<uint64_t>(idx))
-                    .arg("multiplier", region.multiplier)
-                    .arg("icount", region.filteredIcount);
-            RegionOutcome &outcome = out.regionOutcomes[idx];
-            const uint32_t max_attempts = 1 + sim_cfg.regionRetries;
-            for (uint32_t attempt = 0; attempt < max_attempts;
-                 ++attempt) {
-                // Per-attempt spans only matter when retries are in
-                // play; the common single-attempt case is already
-                // covered by region.sim.
-                ScopedSpan attempt_span(
-                    max_attempts > 1 ? &tracer : nullptr,
-                    "region.attempt");
-                attempt_span.arg("region", static_cast<uint64_t>(idx))
-                    .arg("attempt", attempt);
-                try {
-                    const auto fault = sim_cfg.faults.simFault(
-                        static_cast<uint32_t>(idx), attempt);
-                    if (fault == FaultSpec::Kind::Kill)
-                        throw InjectedKill(
-                            "injected host death in region " +
-                            std::to_string(idx));
-                    if (fault == FaultSpec::Kind::Throw)
-                        throw InjectedFault(
-                            "injected failure in region " +
-                            std::to_string(idx) + ", attempt " +
-                            std::to_string(attempt));
-                    const bool diverge =
-                        fault == FaultSpec::Kind::Diverge;
-
-                    // With retries in play, every attempt gets its own
-                    // copy of the pristine snapshot so a failed
-                    // attempt's partial progress cannot leak into the
-                    // next; the single-attempt default runs in place
-                    // (no extra deep copy on the fault-free path).
-                    std::unique_ptr<RegionSnapshot> scratch;
-                    MulticoreSim *sim = &snap->sim;
-                    if (max_attempts > 1) {
-                        scratch = std::make_unique<RegionSnapshot>(
-                            snap->sim, snap->arbiter, constrained);
-                        sim = &scratch->sim;
-                    }
-
-                    SimMetrics m;
-                    bool reached = true;
-                    if (end_block == kInvalidBlock && !diverge) {
-                        m = sim->runDetailed();
-                    } else {
-                        // A diverge fault retargets the stop at a
-                        // count no execution can reach.
-                        const BlockId stop_block =
-                            end_block == kInvalidBlock ? 0 : end_block;
-                        const uint64_t stop_count =
-                            diverge
-                                ? std::numeric_limits<uint64_t>::max()
-                                : region.end.count;
-                        m = sim->runDetailedUntilBudget(
-                            stop_block, stop_count, budget, &reached);
-                    }
-                    if (!reached)
-                        throw std::runtime_error(
-                            "end marker not reached (divergent "
-                            "region; watchdog budget " +
-                            std::to_string(budget) + " instructions)");
-
-                    // idx is unique per task: each writes its own
-                    // slot.
-                    out.regionMetrics[idx] = m;
-                    outcome.ok = true;
-                    outcome.attempts = attempt + 1;
-                    outcome.error.clear();
-                    stat_completed.add();
-                    if (attempt > 0)
-                        stat_retries.add(attempt);
-                    stat_l2_mpki.observe(
-                        static_cast<uint64_t>(m.l2Mpki() * 1000.0));
-                    region_span.arg("cycles", m.cycles)
-                        .arg("instructions", m.instructions)
-                        .arg("ipc", m.ipc())
-                        .arg("l2_mpki", m.l2Mpki());
-                    if (attempt > 0)
-                        sink.warning(
-                            "fault-tolerance",
-                            "region " + std::to_string(idx),
-                            "recovered on attempt " +
-                                std::to_string(attempt + 1) + " of " +
-                                std::to_string(max_attempts));
-                    if (journal) {
-                        RunJournal::Record rec;
-                        rec.regionIndex = static_cast<uint32_t>(idx);
-                        rec.start = region.start;
-                        rec.end = region.end;
-                        rec.multiplier = region.multiplier;
-                        rec.attempts = attempt + 1;
-                        rec.metrics = m;
-                        journal->append(rec);
-                    }
-                    break;
-                } catch (const InjectedKill &) {
-                    outcome.ok = false;
-                    outcome.attempts = attempt + 1;
-                    outcome.error = "injected host death";
-                    throw; // simulated crash: escape the phase
-                } catch (const std::exception &e) {
-                    outcome.ok = false;
-                    outcome.attempts = attempt + 1;
-                    outcome.error = e.what();
-                }
-            }
-            if (!outcome.ok) {
-                sink.error("fault-tolerance",
-                           "region " + std::to_string(idx),
-                           "dropped after " +
-                               std::to_string(outcome.attempts) +
-                               " attempt(s): " + outcome.error);
-                stat_failed.add();
-            }
-            out.regionWallSeconds[idx] = seconds_since(t_region);
-            stat_wall_us.observe(static_cast<uint64_t>(
-                out.regionWallSeconds[idx] * 1e6));
-            region_span
-                .arg("ok", static_cast<uint64_t>(outcome.ok ? 1 : 0))
-                .arg("attempts", outcome.attempts);
-        };
-        if (pool)
-            inflight.push_back(pool->submit(std::move(simulate)));
-        else
-            simulate();
+        RegionWorkItem item;
+        item.index = static_cast<uint32_t>(idx);
+        item.start = region.start;
+        item.end = region.end;
+        item.multiplier = region.multiplier;
+        item.filteredIcount = region.filteredIcount;
+        item.endBlock = end_block;
+        item.budget = budget;
+        item.maxAttempts = max_attempts;
+        item.constrained = constrained;
+        backend->submit(item, base, base_arbiter);
     }
 
-    // Warming is done; join the drain (the warming thread helps run
-    // queued regions instead of idling). Every future is awaited even
-    // if one carries an exception — a task still running while this
-    // frame unwinds would use freed stack state — and the first error
-    // is rethrown once all tasks are quiescent.
-    std::exception_ptr first_error;
-    for (auto &fut : inflight) {
-        try {
-            pool->waitHelping(fut);
-        } catch (...) {
-            if (!first_error)
-                first_error = std::current_exception();
-        }
-    }
-    if (first_error)
-        std::rethrow_exception(first_error);
+    // Warming is done; drain the backend (the pool backend's producer
+    // thread helps run queued regions instead of idling; the procs
+    // coordinator pumps worker channels and runs death-retries). The
+    // first exception that must escape the phase — the pool backend's
+    // InjectedKill — is rethrown once everything is quiescent.
+    backend->finish();
+    out.workerDeaths = backend->workerDeaths();
+    out.workerRespawns = backend->workerRespawns();
 
     // Coverage: the weight fraction of the extrapolation backed by
     // usable regions. All-ok sums are identical, so division yields
@@ -693,10 +603,14 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     out.diagnostics = sink.take();
     out.phaseWallSeconds = seconds_since(t_phase);
     phase_span.arg("jobs", out.jobs)
+        .arg("backend", execBackendName(out.backend))
+        .arg("workers", out.jobs)
         .arg("regions", static_cast<uint64_t>(lp.regions.size()))
         .arg("journal_hits", static_cast<uint64_t>(out.journalHits))
         .arg("coverage", out.coverage)
-        .arg("phase_wall_seconds", out.phaseWallSeconds);
+        .arg("phase_wall_seconds", out.phaseWallSeconds)
+        .arg("worker_deaths", out.workerDeaths)
+        .arg("worker_respawns", out.workerRespawns);
     // Close now, not at frame exit: the span duration must agree with
     // phaseWallSeconds (lp_report --check enforces 1%).
     phase_span.finish();

@@ -1,6 +1,5 @@
 #include "core/run_journal.hh"
 
-#include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -40,63 +39,6 @@ checkCrc(const std::string &line)
     if (crc32(payload) != stored)
         return std::nullopt;
     return payload;
-}
-
-std::string
-encodeRecord(const RunJournal::Record &r)
-{
-    // %.17g round-trips every double exactly, so a journaled metric
-    // set reloads bit-identical to what the simulation produced.
-    char buf[768];
-    std::snprintf(
-        buf, sizeof(buf),
-        "region idx=%" PRIu32 " start=%" PRIu64 ":%" PRIu64
-        " end=%" PRIu64 ":%" PRIu64 " mult=%.17g attempts=%" PRIu32
-        " cycles=%" PRIu64 " instrs=%" PRIu64 " filtered=%" PRIu64
-        " runtime=%.17g branches=%" PRIu64 " mispredicts=%" PRIu64
-        " l1da=%" PRIu64 " l1dm=%" PRIu64 " l2a=%" PRIu64
-        " l2m=%" PRIu64 " l3a=%" PRIu64 " l3m=%" PRIu64,
-        r.regionIndex, static_cast<uint64_t>(r.start.pc), r.start.count,
-        static_cast<uint64_t>(r.end.pc), r.end.count, r.multiplier,
-        r.attempts, r.metrics.cycles, r.metrics.instructions,
-        r.metrics.filteredInstructions, r.metrics.runtimeSeconds,
-        r.metrics.branches, r.metrics.branchMispredicts,
-        r.metrics.l1dAccesses, r.metrics.l1dMisses,
-        r.metrics.l2Accesses, r.metrics.l2Misses,
-        r.metrics.l3Accesses, r.metrics.l3Misses);
-    return buf;
-}
-
-std::optional<RunJournal::Record>
-parseRecord(const std::string &payload)
-{
-    RunJournal::Record r;
-    uint64_t start_pc = 0, end_pc = 0;
-    int n = std::sscanf(
-        payload.c_str(),
-        "region idx=%" SCNu32 " start=%" SCNu64 ":%" SCNu64
-        " end=%" SCNu64 ":%" SCNu64 " mult=%lg attempts=%" SCNu32
-        " cycles=%" SCNu64 " instrs=%" SCNu64 " filtered=%" SCNu64
-        " runtime=%lg branches=%" SCNu64 " mispredicts=%" SCNu64
-        " l1da=%" SCNu64 " l1dm=%" SCNu64 " l2a=%" SCNu64
-        " l2m=%" SCNu64 " l3a=%" SCNu64 " l3m=%" SCNu64,
-        &r.regionIndex, &start_pc, &r.start.count, &end_pc,
-        &r.end.count, &r.multiplier, &r.attempts, &r.metrics.cycles,
-        &r.metrics.instructions, &r.metrics.filteredInstructions,
-        &r.metrics.runtimeSeconds, &r.metrics.branches,
-        &r.metrics.branchMispredicts, &r.metrics.l1dAccesses,
-        &r.metrics.l1dMisses, &r.metrics.l2Accesses,
-        &r.metrics.l2Misses, &r.metrics.l3Accesses,
-        &r.metrics.l3Misses);
-    if (n != 19)
-        return std::nullopt;
-    r.start.pc = start_pc;
-    r.end.pc = end_pc;
-    // Re-encoding must reproduce the payload byte for byte: catches
-    // trailing junk sscanf ignores and any lossy double round trip.
-    if (encodeRecord(r) != payload)
-        return std::nullopt;
-    return r;
 }
 
 } // namespace
@@ -156,7 +98,7 @@ RunJournal::load(bool must_exist)
 
     while (std::getline(is, line)) {
         auto payload = checkCrc(line);
-        auto rec = payload ? parseRecord(*payload)
+        auto rec = payload ? parseJournalRecord(*payload)
                            : std::optional<Record>();
         if (!rec) {
             // Torn tail: this record (and anything after it, which
@@ -224,7 +166,7 @@ RunJournal::rewriteLocked()
         os << withCrc(kJournalMagic) << '\n';
         os << withCrc(key.encode()) << '\n';
         for (const auto &r : records)
-            os << withCrc(encodeRecord(r)) << '\n';
+            os << withCrc(encodeJournalRecord(r)) << '\n';
         os.flush();
         if (!os)
             return false;

@@ -31,7 +31,9 @@
 #ifndef LOOPPOINT_CORE_RUN_JOURNAL_HH
 #define LOOPPOINT_CORE_RUN_JOURNAL_HH
 
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -132,6 +134,75 @@ class RunJournal
     size_t writeFailures = 0;
     mutable std::mutex mu;
 };
+
+/**
+ * One journal record as a single text line (no newline, no CRC
+ * trailer). %.17g round-trips every double exactly, so a journaled
+ * metric set reloads bit-identical to what the simulation produced.
+ *
+ * Inline so the codec is shared without a link dependency: the journal
+ * itself uses it for persistence, and the multi-process region farm
+ * (src/dist) ships exactly these journal-compatible completion records
+ * over its wire protocol.
+ */
+inline std::string
+encodeJournalRecord(const RunJournal::Record &r)
+{
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "region idx=%" PRIu32 " start=%" PRIu64 ":%" PRIu64
+        " end=%" PRIu64 ":%" PRIu64 " mult=%.17g attempts=%" PRIu32
+        " cycles=%" PRIu64 " instrs=%" PRIu64 " filtered=%" PRIu64
+        " runtime=%.17g branches=%" PRIu64 " mispredicts=%" PRIu64
+        " l1da=%" PRIu64 " l1dm=%" PRIu64 " l2a=%" PRIu64
+        " l2m=%" PRIu64 " l3a=%" PRIu64 " l3m=%" PRIu64,
+        r.regionIndex, static_cast<uint64_t>(r.start.pc), r.start.count,
+        static_cast<uint64_t>(r.end.pc), r.end.count, r.multiplier,
+        r.attempts, r.metrics.cycles, r.metrics.instructions,
+        r.metrics.filteredInstructions, r.metrics.runtimeSeconds,
+        r.metrics.branches, r.metrics.branchMispredicts,
+        r.metrics.l1dAccesses, r.metrics.l1dMisses,
+        r.metrics.l2Accesses, r.metrics.l2Misses,
+        r.metrics.l3Accesses, r.metrics.l3Misses);
+    return buf;
+}
+
+/**
+ * Parse a line written by encodeJournalRecord. Returns nullopt unless
+ * re-encoding the parsed record reproduces `payload` byte for byte —
+ * catching trailing junk sscanf ignores and any lossy double round
+ * trip.
+ */
+inline std::optional<RunJournal::Record>
+parseJournalRecord(const std::string &payload)
+{
+    RunJournal::Record r;
+    uint64_t start_pc = 0, end_pc = 0;
+    int n = std::sscanf(
+        payload.c_str(),
+        "region idx=%" SCNu32 " start=%" SCNu64 ":%" SCNu64
+        " end=%" SCNu64 ":%" SCNu64 " mult=%lg attempts=%" SCNu32
+        " cycles=%" SCNu64 " instrs=%" SCNu64 " filtered=%" SCNu64
+        " runtime=%lg branches=%" SCNu64 " mispredicts=%" SCNu64
+        " l1da=%" SCNu64 " l1dm=%" SCNu64 " l2a=%" SCNu64
+        " l2m=%" SCNu64 " l3a=%" SCNu64 " l3m=%" SCNu64,
+        &r.regionIndex, &start_pc, &r.start.count, &end_pc,
+        &r.end.count, &r.multiplier, &r.attempts, &r.metrics.cycles,
+        &r.metrics.instructions, &r.metrics.filteredInstructions,
+        &r.metrics.runtimeSeconds, &r.metrics.branches,
+        &r.metrics.branchMispredicts, &r.metrics.l1dAccesses,
+        &r.metrics.l1dMisses, &r.metrics.l2Accesses,
+        &r.metrics.l2Misses, &r.metrics.l3Accesses,
+        &r.metrics.l3Misses);
+    if (n != 19)
+        return std::nullopt;
+    r.start.pc = start_pc;
+    r.end.pc = end_pc;
+    if (encodeJournalRecord(r) != payload)
+        return std::nullopt;
+    return r;
+}
 
 } // namespace looppoint
 

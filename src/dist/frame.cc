@@ -1,0 +1,175 @@
+#include "dist/frame.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "pinball/pinball_io.hh"
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+/** Outer length prefix, little-endian (host order is not wire
+ * order: a future multi-host transport must not care about peer
+ * endianness). */
+std::string
+encodePrefix(uint32_t n)
+{
+    char b[4] = {static_cast<char>(n & 0xFF),
+                 static_cast<char>((n >> 8) & 0xFF),
+                 static_cast<char>((n >> 16) & 0xFF),
+                 static_cast<char>((n >> 24) & 0xFF)};
+    return std::string(b, 4);
+}
+
+uint32_t
+decodePrefix(const char *b)
+{
+    return static_cast<uint32_t>(static_cast<unsigned char>(b[0])) |
+           static_cast<uint32_t>(static_cast<unsigned char>(b[1])) << 8 |
+           static_cast<uint32_t>(static_cast<unsigned char>(b[2])) << 16 |
+           static_cast<uint32_t>(static_cast<unsigned char>(b[3])) << 24;
+}
+
+LoadResult<std::string>
+decodeEnvelope(const std::string &envelope)
+{
+    std::istringstream is(envelope);
+    auto framed =
+        readFramedArtifact(is, kDistFrameMagicBase, kDistFrameVersion);
+    if (!framed.ok())
+        return LoadResult<std::string>::failure(framed.error());
+    return LoadResult<std::string>::success(
+        std::move(framed.value().payload));
+}
+
+} // namespace
+
+std::string
+encodeDistFrame(const std::string &payload)
+{
+    std::ostringstream os;
+    writeFramedArtifact(os, kDistFrameMagicBase, kDistFrameVersion,
+                        payload);
+    std::string envelope = os.str();
+    LP_ASSERT(envelope.size() <= kMaxDistFrameBytes);
+    return encodePrefix(static_cast<uint32_t>(envelope.size())) +
+           envelope;
+}
+
+LoadResult<std::string>
+decodeDistFrame(const std::string &frame)
+{
+    if (frame.size() < 4)
+        return LoadResult<std::string>::failure(
+            {LoadErrorKind::Truncated,
+             "dist frame shorter than its length prefix"});
+    const uint32_t total = decodePrefix(frame.data());
+    if (total > kMaxDistFrameBytes)
+        return LoadResult<std::string>::failure(
+            {LoadErrorKind::Validation,
+             "dist frame announces " + std::to_string(total) +
+                 " bytes, over the " +
+                 std::to_string(kMaxDistFrameBytes) + " byte limit"});
+    if (frame.size() < 4u + total)
+        return LoadResult<std::string>::failure(
+            {LoadErrorKind::Truncated,
+             "dist frame truncated: prefix announces " +
+                 std::to_string(total) + " bytes, got " +
+                 std::to_string(frame.size() - 4)});
+    if (frame.size() > 4u + total)
+        return LoadResult<std::string>::failure(
+            {LoadErrorKind::Validation,
+             "dist frame has " +
+                 std::to_string(frame.size() - 4 - total) +
+                 " trailing bytes after the announced envelope"});
+    return decodeEnvelope(frame.substr(4, total));
+}
+
+std::optional<LoadResult<std::string>>
+tryExtractFrame(std::string &buf)
+{
+    if (buf.size() < 4)
+        return std::nullopt;
+    const uint32_t total = decodePrefix(buf.data());
+    if (total > kMaxDistFrameBytes) {
+        // Never wait for an absurd announced length to "complete":
+        // that is how a corrupt prefix stalls the coordinator.
+        return LoadResult<std::string>::failure(
+            {LoadErrorKind::Validation,
+             "dist frame announces " + std::to_string(total) +
+                 " bytes, over the " +
+                 std::to_string(kMaxDistFrameBytes) + " byte limit"});
+    }
+    if (buf.size() < 4u + total)
+        return std::nullopt;
+    auto result = decodeEnvelope(buf.substr(4, total));
+    buf.erase(0, 4u + total);
+    return result;
+}
+
+bool
+writeFrameFd(int fd, const std::string &payload)
+{
+    const std::string frame = encodeDistFrame(payload);
+    size_t off = 0;
+    while (off < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + off,
+                                 frame.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+LoadResult<std::string>
+readFrameFd(int fd, std::string &buf, bool *clean_eof)
+{
+    if (clean_eof)
+        *clean_eof = false;
+    char chunk[4096];
+    for (;;) {
+        if (auto extracted = tryExtractFrame(buf))
+            return *extracted;
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return LoadResult<std::string>::failure(
+                {LoadErrorKind::Io,
+                 std::string("dist frame read failed: ") +
+                     std::strerror(errno)});
+        }
+        if (n == 0) {
+            if (buf.empty()) {
+                if (clean_eof)
+                    *clean_eof = true;
+                return LoadResult<std::string>::failure(
+                    {LoadErrorKind::Io, "peer closed the channel"});
+            }
+            return LoadResult<std::string>::failure(
+                {LoadErrorKind::Truncated,
+                 "peer closed the channel mid-frame (" +
+                     std::to_string(buf.size()) + " bytes buffered)"});
+        }
+        buf.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+LoadResult<std::string>
+readFrameFd(int fd, bool *clean_eof)
+{
+    std::string buf;
+    return readFrameFd(fd, buf, clean_eof);
+}
+
+} // namespace looppoint

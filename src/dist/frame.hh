@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Wire framing for the multi-process region farm's coordinator/worker
+ * socketpair protocol.
+ *
+ * Each message travels as one *frame*: a 4-byte little-endian outer
+ * length prefix followed by exactly that many bytes of an
+ * integrity-checked artifact in the standard checkpoint framing
+ * (pinball_io's magic/version/length/checksum envelope, magic base
+ * "looppoint-dist-frame-v"):
+ *
+ *   <u32 LE total>                   bytes that follow
+ *   looppoint-dist-frame-v2\n
+ *   version 2\n
+ *   length <payload-bytes>\n
+ *   <payload>
+ *   checksum <crc32-hex>\n
+ *
+ * The outer prefix makes frames self-delimiting on a byte stream (a
+ * reader knows when a frame is complete without parsing it); the inner
+ * envelope carries the CRC32 so a torn, truncated, or bit-flipped
+ * frame surfaces as a structured LoadError, never as a silently
+ * corrupted task or result. Decoders never trust the peer: the outer
+ * length is bounded by kMaxDistFrameBytes before any allocation.
+ */
+
+#ifndef LOOPPOINT_DIST_FRAME_HH
+#define LOOPPOINT_DIST_FRAME_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/load_result.hh"
+
+namespace looppoint {
+
+/** Magic base of the inner envelope ("looppoint-dist-frame-v2"). */
+inline constexpr const char *kDistFrameMagicBase =
+    "looppoint-dist-frame-v";
+
+/** Current wire-protocol version. */
+inline constexpr int kDistFrameVersion = 2;
+
+/** Upper bound on one frame's encoded size (DoS guard: the reader
+ * allocates the frame buffer before validating its contents). */
+inline constexpr uint32_t kMaxDistFrameBytes = 64u * 1024 * 1024;
+
+/** Encode `payload` into a complete frame (outer prefix + envelope). */
+std::string encodeDistFrame(const std::string &payload);
+
+/**
+ * Decode one complete frame produced by encodeDistFrame. Returns the
+ * payload, or a structured error: Truncated (bytes missing), Validation
+ * (oversize or length mismatch), BadMagic / UnknownVersion /
+ * BadChecksum / Parse from the inner envelope.
+ */
+LoadResult<std::string> decodeDistFrame(const std::string &frame);
+
+/**
+ * Incremental extraction from a receive buffer: if `buf` holds at
+ * least one complete frame, consume its bytes from the front of `buf`
+ * and return its decode result; return nullopt when more bytes are
+ * needed. An oversize length prefix fails immediately (Validation)
+ * without waiting for the announced bytes to arrive.
+ */
+std::optional<LoadResult<std::string>> tryExtractFrame(std::string &buf);
+
+/**
+ * Write one frame carrying `payload` to `fd`, handling short writes.
+ * Uses send(MSG_NOSIGNAL) so a dead peer yields EPIPE, not SIGPIPE.
+ * Returns false on any write error (the caller treats the peer as
+ * dead).
+ */
+bool writeFrameFd(int fd, const std::string &payload);
+
+/**
+ * Blocking read of one complete frame from `fd`. On clean EOF before
+ * any byte, returns an Io error and sets *clean_eof (the peer closed
+ * the channel deliberately); EOF mid-frame is Truncated.
+ *
+ * `buf` carries bytes between calls: reads are chunked, so a read
+ * that completes one frame usually slurps the head of the next. A
+ * caller expecting more than one frame on the same channel MUST pass
+ * the same buffer to every call, or the excess is silently dropped
+ * and the stream desynchronizes.
+ */
+LoadResult<std::string> readFrameFd(int fd, std::string &buf,
+                                    bool *clean_eof = nullptr);
+
+/** One-shot convenience: readFrameFd with a throwaway buffer. Only
+ * correct when at most one frame will ever arrive on `fd`. */
+LoadResult<std::string> readFrameFd(int fd, bool *clean_eof = nullptr);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_DIST_FRAME_HH

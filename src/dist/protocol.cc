@@ -1,0 +1,195 @@
+#include "dist/protocol.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace looppoint {
+
+namespace {
+
+LoadError
+parseError(const char *what, const std::string &payload)
+{
+    std::string head = payload.substr(0, 96);
+    for (char &c : head)
+        if (c == '\n')
+            c = ' ';
+    return {LoadErrorKind::Parse,
+            std::string("malformed ") + what + " message: '" + head +
+                (payload.size() > 96 ? "...'" : "'")};
+}
+
+} // namespace
+
+std::string
+distMsgTag(const std::string &payload)
+{
+    const size_t end = payload.find_first_of(" \n");
+    return payload.substr(0, end);
+}
+
+std::string
+encodeStateHeader(const DistStateHeader &h)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "state region=%" PRIu32 " arena=%" PRIu64
+                  " constrained=%u",
+                  h.region, h.arenaBytes, h.constrained ? 1 : 0);
+    return buf;
+}
+
+LoadResult<DistStateHeader>
+parseStateHeader(const std::string &line)
+{
+    DistStateHeader h;
+    unsigned constrained = 0;
+    int n = std::sscanf(line.c_str(),
+                        "state region=%" SCNu32 " arena=%" SCNu64
+                        " constrained=%u",
+                        &h.region, &h.arenaBytes, &constrained);
+    if (n != 3 || constrained > 1)
+        return LoadResult<DistStateHeader>::failure(
+            parseError("state", line));
+    h.constrained = constrained != 0;
+    if (encodeStateHeader(h) != line)
+        return LoadResult<DistStateHeader>::failure(
+            parseError("state", line));
+    return LoadResult<DistStateHeader>::success(h);
+}
+
+std::string
+encodeTaskMsg(const DistTaskMsg &msg)
+{
+    const RegionWorkItem &it = msg.item;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "task region=%" PRIu32 " start=%" PRIu64 ":%" PRIu64
+        " end=%" PRIu64 ":%" PRIu64 " mult=%.17g icount=%" PRIu64
+        " endblock=%" PRIu32 " budget=%" PRIu64
+        " max_attempts=%" PRIu32 " attempt_base=%" PRIu32
+        " constrained=%u",
+        it.index, static_cast<uint64_t>(it.start.pc), it.start.count,
+        static_cast<uint64_t>(it.end.pc), it.end.count, it.multiplier,
+        it.filteredIcount, it.endBlock, it.budget, it.maxAttempts,
+        msg.attemptBase, it.constrained ? 1 : 0);
+    return buf;
+}
+
+LoadResult<DistTaskMsg>
+parseTaskMsg(const std::string &payload)
+{
+    DistTaskMsg msg;
+    RegionWorkItem &it = msg.item;
+    uint64_t start_pc = 0, end_pc = 0;
+    unsigned constrained = 0;
+    int n = std::sscanf(
+        payload.c_str(),
+        "task region=%" SCNu32 " start=%" SCNu64 ":%" SCNu64
+        " end=%" SCNu64 ":%" SCNu64 " mult=%lg icount=%" SCNu64
+        " endblock=%" SCNu32 " budget=%" SCNu64
+        " max_attempts=%" SCNu32 " attempt_base=%" SCNu32
+        " constrained=%u",
+        &it.index, &start_pc, &it.start.count, &end_pc, &it.end.count,
+        &it.multiplier, &it.filteredIcount, &it.endBlock, &it.budget,
+        &it.maxAttempts, &msg.attemptBase, &constrained);
+    if (n != 12)
+        return LoadResult<DistTaskMsg>::failure(
+            parseError("task", payload));
+    it.start.pc = start_pc;
+    it.end.pc = end_pc;
+    it.constrained = constrained != 0;
+    if (encodeTaskMsg(msg) != payload)
+        return LoadResult<DistTaskMsg>::failure(
+            parseError("task", payload));
+    return LoadResult<DistTaskMsg>::success(std::move(msg));
+}
+
+std::string
+encodeProgressMsg(const DistProgressMsg &msg)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "progress region=%" PRIu32 " attempt=%" PRIu32,
+                  msg.region, msg.attempt);
+    return buf;
+}
+
+LoadResult<DistProgressMsg>
+parseProgressMsg(const std::string &payload)
+{
+    DistProgressMsg msg;
+    int n = std::sscanf(payload.c_str(),
+                        "progress region=%" SCNu32 " attempt=%" SCNu32,
+                        &msg.region, &msg.attempt);
+    if (n != 2 || encodeProgressMsg(msg) != payload)
+        return LoadResult<DistProgressMsg>::failure(
+            parseError("progress", payload));
+    return LoadResult<DistProgressMsg>::success(msg);
+}
+
+std::string
+encodeResultMsg(const DistResultMsg &msg)
+{
+    char buf[256];
+    if (msg.ok) {
+        std::snprintf(buf, sizeof(buf),
+                      "result region=%" PRIu32 " ok=1 wall=%.17g\n",
+                      msg.region, msg.wallSeconds);
+        return buf + encodeJournalRecord(msg.record);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "result region=%" PRIu32
+                  " ok=0 wall=%.17g attempts=%" PRIu32 " error=",
+                  msg.region, msg.wallSeconds, msg.attempts);
+    return buf + msg.error;
+}
+
+LoadResult<DistResultMsg>
+parseResultMsg(const std::string &payload)
+{
+    DistResultMsg msg;
+    unsigned ok = 0;
+    int n = std::sscanf(payload.c_str(),
+                        "result region=%" SCNu32 " ok=%u wall=%lg",
+                        &msg.region, &ok, &msg.wallSeconds);
+    if (n != 3 || ok > 1)
+        return LoadResult<DistResultMsg>::failure(
+            parseError("result", payload));
+    msg.ok = ok != 0;
+    if (msg.ok) {
+        // "result ...\n<journal record>" — the record line carries the
+        // metrics and the attempt count.
+        const size_t nl = payload.find('\n');
+        if (nl == std::string::npos)
+            return LoadResult<DistResultMsg>::failure(
+                parseError("result", payload));
+        auto rec = parseJournalRecord(payload.substr(nl + 1));
+        if (!rec || rec->regionIndex != msg.region)
+            return LoadResult<DistResultMsg>::failure(
+                parseError("result", payload));
+        msg.record = *rec;
+        msg.attempts = rec->attempts;
+    } else {
+        const std::string marker = " error=";
+        const size_t pos = payload.find(marker);
+        if (pos == std::string::npos ||
+            payload.find('\n') != std::string::npos)
+            return LoadResult<DistResultMsg>::failure(
+                parseError("result", payload));
+        msg.error = payload.substr(pos + marker.size());
+        if (std::sscanf(payload.c_str(),
+                        "result region=%*u ok=%*u wall=%*g "
+                        "attempts=%" SCNu32,
+                        &msg.attempts) != 1)
+            return LoadResult<DistResultMsg>::failure(
+                parseError("result", payload));
+    }
+    if (encodeResultMsg(msg) != payload)
+        return LoadResult<DistResultMsg>::failure(
+            parseError("result", payload));
+    return LoadResult<DistResultMsg>::success(std::move(msg));
+}
+
+} // namespace looppoint

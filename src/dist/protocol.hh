@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Message codec for the multi-process region farm. Three message
+ * types, each carried as one dist frame (see dist/frame.hh):
+ *
+ *   coordinator -> worker
+ *     task      one RegionWorkItem + the attempt index to start from
+ *
+ *   worker -> coordinator
+ *     progress  "attempt N is starting" — lets the coordinator account
+ *               attempts consumed by a worker that dies mid-region
+ *     result    the region's outcome; a successful result embeds a
+ *               journal-compatible completion record
+ *               (encodeJournalRecord), so the coordinator appends to
+ *               the run journal exactly what an in-process run would
+ *
+ * Payloads are line-oriented text in the artifact idiom: sscanf with a
+ * fixed field list, then a re-encode byte-equality check, so trailing
+ * junk, lossy doubles, or tampered fields all surface as structured
+ * Parse errors instead of silently skewed metrics.
+ */
+
+#ifndef LOOPPOINT_DIST_PROTOCOL_HH
+#define LOOPPOINT_DIST_PROTOCOL_HH
+
+#include <string>
+
+#include "core/run_journal.hh"
+#include "dist/region_run.hh"
+#include "util/load_result.hh"
+
+namespace looppoint {
+
+/** coordinator -> worker: simulate this region. */
+struct DistTaskMsg
+{
+    RegionWorkItem item;
+    /** First attempt index to run (nonzero on retry after a death). */
+    uint32_t attemptBase = 0;
+
+    bool operator==(const DistTaskMsg &other) const = default;
+};
+
+/** worker -> coordinator: attempt `attempt` of `region` is starting. */
+struct DistProgressMsg
+{
+    uint32_t region = 0;
+    uint32_t attempt = 0;
+
+    bool operator==(const DistProgressMsg &other) const = default;
+};
+
+/** worker -> coordinator: the region's final outcome. */
+struct DistResultMsg
+{
+    uint32_t region = 0;
+    bool ok = false;
+    /** Wall seconds the worker spent on the region (its attempt loop
+     * only; the coordinator separately measures dispatch-to-completion
+     * for the trace). */
+    double wallSeconds = 0.0;
+    /** !ok only: attempts consumed and the last error. */
+    uint32_t attempts = 0;
+    std::string error;
+    /** ok only: the journal-compatible completion record (carries the
+     * metrics and the attempt count). */
+    RunJournal::Record record;
+
+    bool operator==(const DistResultMsg &other) const = default;
+};
+
+/**
+ * coordinator -> worker: header line of the checkpoint state frame
+ * that follows every task frame. The full frame payload is this line,
+ * then (constrained regions only) one ReplayArbiter cursor line, then
+ * the ExecutionEngine::save artifact. The microarchitectural state
+ * (cache tags, predictor tables) does not ride the socket at all: the
+ * coordinator exports it into the worker's shared-memory arena, and
+ * `arenaBytes` lets the worker cross-check the arena layout before
+ * binding its caches into it.
+ */
+struct DistStateHeader
+{
+    uint32_t region = 0;
+    uint64_t arenaBytes = 0;
+    bool constrained = false;
+
+    bool operator==(const DistStateHeader &other) const = default;
+};
+
+/** First whitespace-delimited token of a payload ("task", "progress",
+ * "result", or whatever a corrupt peer sent). */
+std::string distMsgTag(const std::string &payload);
+
+std::string encodeStateHeader(const DistStateHeader &h);
+LoadResult<DistStateHeader> parseStateHeader(const std::string &line);
+
+std::string encodeTaskMsg(const DistTaskMsg &msg);
+LoadResult<DistTaskMsg> parseTaskMsg(const std::string &payload);
+
+std::string encodeProgressMsg(const DistProgressMsg &msg);
+LoadResult<DistProgressMsg> parseProgressMsg(const std::string &payload);
+
+std::string encodeResultMsg(const DistResultMsg &msg);
+LoadResult<DistResultMsg> parseResultMsg(const std::string &payload);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_DIST_PROTOCOL_HH

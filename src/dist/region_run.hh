@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The region attempt loop, shared by every execution backend.
+ *
+ * Checkpointed region simulation separates *producing* region work (a
+ * serial warming pass that stops at each region start) from *executing*
+ * it (warm snapshot in, metrics out). This file holds the execution
+ * half's core: given a warm snapshot and a region's markers, run the
+ * detailed simulation with the full retry/fault-injection/watchdog
+ * semantics, identically whether the caller is the in-process thread
+ * pool or a forked worker process. Keeping one implementation is what
+ * makes the backends bit-identical by construction.
+ *
+ * Layering: lp_dist sits below lp_core (which links it) and above
+ * lp_sim/lp_pinball, so both the pool backend (src/core) and the
+ * worker process (src/dist) can call runRegionAttempts without a
+ * dependency cycle.
+ */
+
+#ifndef LOOPPOINT_DIST_REGION_RUN_HH
+#define LOOPPOINT_DIST_REGION_RUN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/program.hh"
+#include "pinball/pinball.hh"
+#include "profile/bbv.hh"
+#include "sim/multicore.hh"
+#include "util/fault.hh"
+
+namespace looppoint {
+
+/**
+ * A deep snapshot of the warming simulation plus its private replay
+ * arbiter. The arbiter is rebound in the constructor (the MulticoreSim
+ * copy aliases the source's arbiter otherwise).
+ */
+struct WarmSnapshot
+{
+    MulticoreSim sim;
+    ReplayArbiter arbiter;
+
+    WarmSnapshot(const MulticoreSim &base,
+                 const ReplayArbiter &base_arbiter, bool constrained)
+        : sim(base), arbiter(base_arbiter)
+    {
+        if (constrained)
+            sim.engine().setArbiter(&arbiter);
+    }
+};
+
+/**
+ * Everything a backend needs to simulate one region, independent of
+ * where the work runs. Plain data: the procs backend serializes it
+ * verbatim into a task frame.
+ */
+struct RegionWorkItem
+{
+    /** Index into LoopPointResult::regions (and the output arrays). */
+    uint32_t index = 0;
+    Marker start;
+    Marker end;
+    double multiplier = 1.0;
+    uint64_t filteredIcount = 0;
+    /** Resolved end-marker block; kInvalidBlock = run to completion.
+     * Resolved by the producer so execution can never hit a
+     * missing-block FatalError. */
+    BlockId endBlock = kInvalidBlock;
+    /** Divergence watchdog budget in instructions; 0 = no watchdog. */
+    uint64_t budget = 0;
+    /** 1 + regionRetries. */
+    uint32_t maxAttempts = 1;
+    bool constrained = false;
+
+    bool operator==(const RegionWorkItem &other) const = default;
+};
+
+/** What one region's attempt loop produced. */
+struct RegionRunResult
+{
+    bool ok = false;
+    /** Attempts consumed, cumulative across retries-after-death (the
+     * procs coordinator re-dispatches with an attempt base). */
+    uint32_t attempts = 0;
+    std::string error;
+    SimMetrics metrics;
+};
+
+/**
+ * Run the attempt loop for one region on a pristine warm state.
+ *
+ * `pristine` must hold the simulation warmed exactly to the region
+ * start. The pool backend passes its private WarmSnapshot copy; a
+ * procs worker passes its long-lived simulator after re-aiming it at
+ * the region — functional state loaded from the shipped state frame,
+ * caches bound into the shared-memory arena the coordinator exported
+ * into (see dist/region_farm.hh).
+ *
+ * Semantics (kept exactly in sync with the historical in-line loop —
+ * the backend bit-identicality tests depend on it):
+ *  - attempts run in [attempt_base, item.maxAttempts); `progress` (if
+ *    set) fires with the attempt index before each attempt, so the
+ *    procs coordinator can account consumed attempts for a worker
+ *    that dies mid-region;
+ *  - with retries in play (maxAttempts > 1) every attempt runs on a
+ *    fresh copy of the pristine state; the single-attempt default
+ *    runs in place, with no extra deep copy on the fault-free path;
+ *  - kind=throw faults raise InjectedFault (retryable); kind=diverge
+ *    retargets the stop at an unreachable count so the watchdog
+ *    budget fires; kind=kill fills `out` and throws InjectedKill (the
+ *    pool backend lets it escape the phase, a worker process turns it
+ *    into SIGKILL); kind=wedge hangs forever when `hang_on_wedge`
+ *    (procs: worker-timeout territory) and degenerates to a throw
+ *    otherwise so a pool-backed phase still terminates.
+ *
+ * On return `out` is fully written: ok + metrics on success, or
+ * ok=false + the last attempt's error once the budget is exhausted.
+ * Only InjectedKill propagates (after filling `out`).
+ */
+void runRegionAttempts(const RegionWorkItem &item,
+                       MulticoreSim &pristine,
+                       const ReplayArbiter &pristine_arbiter,
+                       const FaultPlan &faults, RegionRunResult &out,
+                       uint32_t attempt_base = 0,
+                       const std::function<void(uint32_t)> &progress = {},
+                       bool hang_on_wedge = false);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_DIST_REGION_RUN_HH

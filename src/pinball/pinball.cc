@@ -92,6 +92,36 @@ ReplayArbiter::exhausted() const
     return true;
 }
 
+void
+ReplayArbiter::saveCursors(std::ostream &os) const
+{
+    os << "arbiter " << lockCursor.size();
+    for (size_t v : lockCursor)
+        os << ' ' << v;
+    os << ' ' << chunkCursor.size();
+    for (size_t v : chunkCursor)
+        os << ' ' << v;
+    os << '\n';
+}
+
+void
+ReplayArbiter::loadCursors(std::istream &is)
+{
+    std::string key;
+    size_t n = 0;
+    if (!(is >> key >> n) || key != "arbiter" ||
+        n != lockCursor.size())
+        fatal("replay-arbiter cursor parse error: lock cursors");
+    for (auto &v : lockCursor)
+        if (!(is >> v))
+            fatal("replay-arbiter cursor parse error: lock entry");
+    if (!(is >> n) || n != chunkCursor.size())
+        fatal("replay-arbiter cursor parse error: chunk cursors");
+    for (auto &v : chunkCursor)
+        if (!(is >> v))
+            fatal("replay-arbiter cursor parse error: chunk entry");
+}
+
 Pinball
 recordPinball(const Program &prog, const ExecConfig &cfg,
               uint64_t quantum_instrs, ExecListener *listener)

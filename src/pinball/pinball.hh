@@ -103,6 +103,15 @@ class ReplayArbiter : public SyncArbiter
     /** True when every logged event has been replayed. */
     bool exhausted() const;
 
+    /**
+     * Replay-position serialization (one text line each way): lets a
+     * region checkpoint shipped to another process resume constrained
+     * replay at the exact event the warming pass had reached. The
+     * loader must hold the identical SyncLog.
+     */
+    void saveCursors(std::ostream &os) const;
+    void loadCursors(std::istream &is);
+
   private:
     const SyncLog *log;
     std::vector<size_t> lockCursor;

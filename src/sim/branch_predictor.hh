@@ -50,6 +50,16 @@ class PentiumMBranchPredictor
     const BranchStats &stats() const { return bpStats; }
     void resetStats() { bpStats = BranchStats{}; }
 
+    /**
+     * Flat image of the predictor's learned state (tables + global
+     * history; stats excluded — detailed simulation resets them on
+     * entry). Both sides derive the fixed size from the table
+     * geometry, so the image is position-independent.
+     */
+    size_t stateBytes() const;
+    void exportState(void *mem) const;
+    void importState(const void *mem);
+
   private:
     static constexpr uint32_t kBimodalBits = 12;
     static constexpr uint32_t kGlobalBits = 12;

@@ -22,6 +22,24 @@ enum class CoreType : uint8_t
     InOrder     ///< Fig. 5b portability study
 };
 
+/**
+ * Execution backend for checkpointed region simulation: where the
+ * per-region detailed simulations run. Purely a host-side knob —
+ * region metrics are bit-identical across backends and worker counts.
+ */
+enum class ExecBackendKind : uint8_t
+{
+    Pool, ///< in-process work-stealing thread pool (default)
+    Procs ///< coordinator + forked worker processes (src/dist)
+};
+
+/** "pool" / "procs". */
+constexpr const char *
+execBackendName(ExecBackendKind kind)
+{
+    return kind == ExecBackendKind::Procs ? "procs" : "pool";
+}
+
 /** One cache level's geometry. */
 struct CacheConfig
 {
@@ -90,11 +108,27 @@ struct SimConfig
 
     /**
      * Host worker threads for checkpointed region simulation
-     * (checkpoint fanout). 1 = serial, 0 = hardware concurrency.
-     * Purely a host-side knob: simulated results are bit-identical
-     * for any value.
+     * (checkpoint fanout). 1 = serial, 0 = hardware concurrency (see
+     * ThreadPool::resolveWorkers). Purely a host-side knob: simulated
+     * results are bit-identical for any value.
      */
     uint32_t jobs = 1;
+
+    /**
+     * Execution backend for the checkpointed region simulations (see
+     * ExecBackendKind). Host-side only and deliberately excluded from
+     * describe(): the run-journal fingerprint must not change with the
+     * backend, so --resume composes across pool and procs runs.
+     */
+    ExecBackendKind backend = ExecBackendKind::Pool;
+
+    /**
+     * Procs backend only: SIGKILL a worker process whose region has
+     * been in flight longer than this many seconds (a wedged worker),
+     * then retry the region like any other worker death. 0 disables
+     * the timeout. Host-side only; excluded from describe().
+     */
+    double workerTimeoutSeconds = 0.0;
 
     /**
      * Use the straightforward scan-based core scheduler instead of the

@@ -56,6 +56,39 @@ MulticoreSim::MulticoreSim(const MulticoreSim &other)
         core.rebindHierarchy(hierarchy);
 }
 
+size_t
+MulticoreSim::microarchStateBytes() const
+{
+    size_t bytes = hierarchy.stateBytes();
+    for (const auto &core : cores)
+        bytes += core.predictor().stateBytes();
+    return bytes;
+}
+
+void
+MulticoreSim::exportMicroarchState(void *mem) const
+{
+    hierarchy.exportState(mem);
+    auto *p = static_cast<unsigned char *>(mem) +
+              hierarchy.stateBytes();
+    for (const auto &core : cores) {
+        core.predictor().exportState(p);
+        p += core.predictor().stateBytes();
+    }
+}
+
+void
+MulticoreSim::adoptMicroarchState(void *mem)
+{
+    hierarchy.adoptState(mem);
+    auto *p = static_cast<unsigned char *>(mem) +
+              hierarchy.stateBytes();
+    for (auto &core : cores) {
+        core.predictor().importState(p);
+        p += core.predictor().stateBytes();
+    }
+}
+
 namespace {
 
 struct NeverStop

@@ -71,9 +71,11 @@ parseClause(const std::string &clause)
                 spec.kind = FaultSpec::Kind::Diverge;
             else if (value == "kill")
                 spec.kind = FaultSpec::Kind::Kill;
+            else if (value == "wedge")
+                spec.kind = FaultSpec::Kind::Wedge;
             else
                 fatal("--inject-fault: unknown kind '%s' (expected "
-                      "throw, diverge, or kill)", value.c_str());
+                      "throw, diverge, kill, or wedge)", value.c_str());
         } else if (key == "times") {
             spec.times = static_cast<uint32_t>(
                 parseUint(clause, key, value));

@@ -15,7 +15,15 @@
  *   sim:region=3,kind=diverge         region 3's end marker is made
  *                                     unreachable (watchdog territory)
  *   sim:region=3,kind=kill            host death: aborts the phase,
- *                                     not retried (journal-resume path)
+ *                                     not retried (journal-resume path;
+ *                                     under --backend=procs the worker
+ *                                     process SIGKILLs itself instead
+ *                                     and the region is retried)
+ *   sim:region=3,kind=wedge           the attempt hangs: a procs
+ *                                     worker stalls until the
+ *                                     coordinator's --worker-timeout
+ *                                     kills it; under the pool backend
+ *                                     it degenerates to kind=throw
  *   corrupt:byte=17                   flip byte 17 of an artifact
  *   corrupt:byte=rand,seed=7          flip a seeded-random byte
  *
@@ -48,6 +56,9 @@ struct FaultSpec
         Throw,   ///< the attempt throws InjectedFault (retryable)
         Diverge, ///< the end marker becomes unreachable
         Kill,    ///< InjectedKill aborts the whole phase (not retried)
+        Wedge,   ///< the attempt hangs forever (procs: worker-timeout
+                 ///< territory; pool degenerates to Throw so the
+                 ///< phase still terminates)
         FlipByte ///< corrupt-site: XOR 0xFF one payload byte
     };
 

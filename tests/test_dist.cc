@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Multi-process region farm tests. Three layers, bottom up: the wire
+ * framing (round-trips, torn/truncated/bit-flipped frames must come
+ * back as structured LoadErrors, incremental extraction from a byte
+ * stream), the message codec (round-trips with awkward doubles,
+ * tamper rejection via the re-encode equality check), and the
+ * backend-equivalence properties the tentpole promises: the procs
+ * backend is bit-identical to the in-process pool for any worker
+ * count, and a SIGKILL'd or wedged worker is respawned and retried
+ * without losing coverage or perturbing a single metric bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/looppoint.hh"
+#include "dist/frame.hh"
+#include "dist/protocol.hh"
+#include "sim/config.hh"
+#include "util/fault.hh"
+#include "util/thread_pool.hh"
+#include "workload/descriptor.hh"
+
+namespace looppoint {
+namespace {
+
+// ------------------------------------------------------------ framing
+
+TEST(DistFrame, RoundTripsPayloads)
+{
+    for (const std::string &payload :
+         {std::string(""), std::string("task region=1"),
+          std::string("binary \0 and \n newline", 22),
+          std::string(4096, 'x')}) {
+        const std::string frame = encodeDistFrame(payload);
+        auto res = decodeDistFrame(frame);
+        ASSERT_TRUE(res.ok()) << res.error().describe();
+        EXPECT_EQ(res.value(), payload);
+    }
+}
+
+TEST(DistFrame, EveryTruncationPrefixFailsStructurally)
+{
+    const std::string frame = encodeDistFrame("progress region=3");
+    for (size_t n = 0; n < frame.size(); ++n) {
+        auto res = decodeDistFrame(frame.substr(0, n));
+        ASSERT_FALSE(res.ok()) << "prefix of " << n << " bytes decoded";
+        EXPECT_EQ(res.error().kind, LoadErrorKind::Truncated)
+            << "prefix " << n << ": " << res.error().describe();
+    }
+}
+
+TEST(DistFrame, EveryBitFlipFailsStructurally)
+{
+    const std::string payload = "result region=7 ok=0";
+    const std::string frame = encodeDistFrame(payload);
+    for (size_t i = 0; i < frame.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string bad = frame;
+            bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+            auto res = decodeDistFrame(bad);
+            // Flips in the outer length prefix may announce more or
+            // fewer bytes (Truncated/Validation); flips in the
+            // payload trip the checksum; flips in the envelope trip
+            // the magic/version/length checks — except a few
+            // whitespace bytes the line parser is lenient about,
+            // which are harmless as long as the payload survives
+            // untouched. No flip may ever yield a *different*
+            // payload.
+            if (res.ok()) {
+                EXPECT_EQ(res.value(), payload)
+                    << "byte " << i << " bit " << bit
+                    << " silently corrupted the payload";
+            }
+        }
+    }
+}
+
+TEST(DistFrame, OversizeLengthPrefixRejectedUpFront)
+{
+    // 4-byte LE prefix announcing kMaxDistFrameBytes + 1.
+    const uint32_t huge = kMaxDistFrameBytes + 1;
+    std::string frame;
+    for (int i = 0; i < 4; ++i)
+        frame.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+    auto res = decodeDistFrame(frame);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().kind, LoadErrorKind::Validation);
+
+    // The incremental reader must fail immediately too — it cannot
+    // wait for 64 MiB that will never arrive.
+    std::string buf = frame;
+    auto inc = tryExtractFrame(buf);
+    ASSERT_TRUE(inc.has_value());
+    EXPECT_FALSE(inc->ok());
+}
+
+TEST(DistFrame, TrailingBytesRejected)
+{
+    auto res = decodeDistFrame(encodeDistFrame("task") + "x");
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().kind, LoadErrorKind::Validation);
+}
+
+TEST(DistFrame, IncrementalExtractionByteAtATime)
+{
+    const std::string payload = "progress region=1 attempt=2";
+    const std::string frame = encodeDistFrame(payload);
+    std::string buf;
+    for (size_t i = 0; i + 1 < frame.size(); ++i) {
+        buf.push_back(frame[i]);
+        EXPECT_FALSE(tryExtractFrame(buf).has_value())
+            << "extracted after " << (i + 1) << " of " << frame.size()
+            << " bytes";
+    }
+    buf.push_back(frame.back());
+    auto res = tryExtractFrame(buf);
+    ASSERT_TRUE(res.has_value());
+    ASSERT_TRUE(res->ok()) << res->error().describe();
+    EXPECT_EQ(res->value(), payload);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(DistFrame, ExtractsBackToBackFrames)
+{
+    const std::string third = encodeDistFrame("third");
+    const std::string tail = third.substr(0, third.size() - 1);
+    std::string buf =
+        encodeDistFrame("first") + encodeDistFrame("second") + tail;
+    auto one = tryExtractFrame(buf);
+    ASSERT_TRUE(one.has_value() && one->ok());
+    EXPECT_EQ(one->value(), "first");
+    auto two = tryExtractFrame(buf);
+    ASSERT_TRUE(two.has_value() && two->ok());
+    EXPECT_EQ(two->value(), "second");
+    // The third frame is one byte short: stay put until it arrives.
+    EXPECT_FALSE(tryExtractFrame(buf).has_value());
+    EXPECT_EQ(buf, tail);
+}
+
+// ------------------------------------------------------- message codec
+
+RegionWorkItem
+makeItem()
+{
+    RegionWorkItem item;
+    item.index = 3;
+    item.start = Marker{0x402010, 17};
+    item.end = Marker{0x402040, 29};
+    // Deliberately awkward double: %.17g must round-trip it exactly
+    // or the re-encode equality check rejects the parse.
+    item.multiplier = 3.0000000000000004;
+    item.filteredIcount = 123'456'789;
+    item.endBlock = 42;
+    item.budget = 10'000'000;
+    item.maxAttempts = 3;
+    item.constrained = true;
+    return item;
+}
+
+TEST(DistProtocol, TaskRoundTrip)
+{
+    DistTaskMsg msg{makeItem(), /*attemptBase=*/2};
+    const std::string payload = encodeTaskMsg(msg);
+    EXPECT_EQ(distMsgTag(payload), "task");
+    auto res = parseTaskMsg(payload);
+    ASSERT_TRUE(res.ok()) << res.error().describe();
+    EXPECT_EQ(res.value(), msg);
+}
+
+TEST(DistProtocol, ProgressRoundTrip)
+{
+    DistProgressMsg msg{7, 1};
+    auto res = parseProgressMsg(encodeProgressMsg(msg));
+    ASSERT_TRUE(res.ok()) << res.error().describe();
+    EXPECT_EQ(res.value(), msg);
+}
+
+TEST(DistProtocol, ResultOkRoundTripCarriesJournalRecord)
+{
+    DistResultMsg msg;
+    msg.region = 3;
+    msg.ok = true;
+    msg.wallSeconds = 1.0 / 3.0;
+    msg.attempts = 2; // parse mirrors the record's attempt count
+    msg.record.regionIndex = 3;
+    msg.record.start = Marker{0x402010, 17};
+    msg.record.end = Marker{0x402040, 29};
+    msg.record.multiplier = 3.0000000000000004;
+    msg.record.attempts = 2;
+    msg.record.metrics.cycles = 1000;
+    msg.record.metrics.instructions = 2000;
+    msg.record.metrics.filteredInstructions = 1500;
+    msg.record.metrics.runtimeSeconds = 2.0 / 3.0;
+    msg.record.metrics.branches = 100;
+    msg.record.metrics.branchMispredicts = 10;
+    msg.record.metrics.l1dAccesses = 500;
+    msg.record.metrics.l1dMisses = 50;
+    msg.record.metrics.l2Accesses = 40;
+    msg.record.metrics.l2Misses = 20;
+    msg.record.metrics.l3Accesses = 15;
+    msg.record.metrics.l3Misses = 5;
+    const std::string payload = encodeResultMsg(msg);
+    EXPECT_EQ(distMsgTag(payload), "result");
+    auto res = parseResultMsg(payload);
+    ASSERT_TRUE(res.ok()) << res.error().describe();
+    EXPECT_EQ(res.value(), msg);
+}
+
+TEST(DistProtocol, ResultErrorRoundTrip)
+{
+    DistResultMsg msg;
+    msg.region = 5;
+    msg.ok = false;
+    msg.wallSeconds = 0.25;
+    msg.attempts = 3;
+    msg.error = "end marker not reached (divergent region)";
+    auto res = parseResultMsg(encodeResultMsg(msg));
+    ASSERT_TRUE(res.ok()) << res.error().describe();
+    EXPECT_EQ(res.value(), msg);
+}
+
+TEST(DistProtocol, TamperedFieldsRejected)
+{
+    const std::string task = encodeTaskMsg({makeItem(), 0});
+    // Trailing junk after the last parsed field.
+    EXPECT_FALSE(parseTaskMsg(task + " extra=1").ok());
+    // A numeric field nudged without keeping the re-encoding stable.
+    std::string bumped = task;
+    const size_t pos = bumped.find("region=3");
+    ASSERT_NE(pos, std::string::npos);
+    bumped.replace(pos, 8, "region=03");
+    EXPECT_FALSE(parseTaskMsg(bumped).ok());
+    // Wrong tag entirely.
+    EXPECT_FALSE(parseTaskMsg("progress region=1 attempt=0").ok());
+    EXPECT_FALSE(parseProgressMsg("task region=1").ok());
+    EXPECT_FALSE(parseResultMsg("result region=1 ok=2 wall=0").ok());
+}
+
+TEST(DistProtocol, ResultRecordIdentityMismatchRejected)
+{
+    DistResultMsg msg;
+    msg.region = 3;
+    msg.ok = true;
+    msg.wallSeconds = 0.5;
+    msg.record.regionIndex = 3;
+    msg.record.multiplier = 1.0;
+    msg.record.attempts = 1;
+    std::string payload = encodeResultMsg(msg);
+    // Flip the embedded record's region index: the envelope says
+    // region 3 but the record claims region 4.
+    const size_t pos = payload.find("idx=3");
+    ASSERT_NE(pos, std::string::npos);
+    payload.replace(pos, 5, "idx=4");
+    EXPECT_FALSE(parseResultMsg(payload).ok());
+}
+
+// ------------------------------------------- worker auto-detect helper
+
+TEST(DistWorkers, ResolveWorkersAutoDetects)
+{
+    EXPECT_EQ(ThreadPool::resolveWorkers(0),
+              ThreadPool::defaultWorkers());
+    EXPECT_GE(ThreadPool::resolveWorkers(0), 1u);
+    EXPECT_EQ(ThreadPool::resolveWorkers(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveWorkers(5), 5u);
+}
+
+// -------------------------------------------- backend equivalence
+
+/** One analyzed app shared by the backend tests (the analysis pass is
+ * the expensive part and is read-only from here). */
+struct Analyzed
+{
+    Program prog;
+    LoopPointOptions opts;
+    std::unique_ptr<LoopPointPipeline> pipe;
+    LoopPointResult lp;
+
+    Analyzed()
+        : prog(generateProgram(findApp("628.pop2_s.1"),
+                               InputClass::Test))
+    {
+        opts.numThreads =
+            findApp("628.pop2_s.1").effectiveThreads(4);
+        opts.sliceSizePerThread = 25'000;
+        pipe = std::make_unique<LoopPointPipeline>(prog, opts);
+        lp = pipe->analyze();
+    }
+};
+
+const Analyzed &
+analyzed()
+{
+    static Analyzed a;
+    return a;
+}
+
+using CheckpointedSimResult = LoopPointPipeline::CheckpointedSimResult;
+
+CheckpointedSimResult
+runCheckpointed(const SimConfig &sim)
+{
+    return analyzed().pipe->simulateRegionsCheckpointed(
+        analyzed().lp, sim, /*constrained=*/false, nullptr);
+}
+
+/** Bit-exact equality of two runs' simulated results (wall times and
+ * host-side counters excluded: those legitimately differ). */
+void
+expectSameResults(const CheckpointedSimResult &a,
+                  const CheckpointedSimResult &b)
+{
+    EXPECT_EQ(a.coverage, b.coverage);
+    ASSERT_EQ(a.regionMetrics.size(), b.regionMetrics.size());
+    for (size_t i = 0; i < a.regionMetrics.size(); ++i) {
+        const SimMetrics &x = a.regionMetrics[i];
+        const SimMetrics &y = b.regionMetrics[i];
+        EXPECT_EQ(x.cycles, y.cycles) << "region " << i;
+        EXPECT_EQ(x.instructions, y.instructions) << "region " << i;
+        EXPECT_EQ(x.filteredInstructions, y.filteredInstructions)
+            << "region " << i;
+        EXPECT_EQ(x.runtimeSeconds, y.runtimeSeconds) << "region " << i;
+        EXPECT_EQ(x.branches, y.branches) << "region " << i;
+        EXPECT_EQ(x.branchMispredicts, y.branchMispredicts)
+            << "region " << i;
+        EXPECT_EQ(x.l1dAccesses, y.l1dAccesses) << "region " << i;
+        EXPECT_EQ(x.l1dMisses, y.l1dMisses) << "region " << i;
+        EXPECT_EQ(x.l2Accesses, y.l2Accesses) << "region " << i;
+        EXPECT_EQ(x.l2Misses, y.l2Misses) << "region " << i;
+        EXPECT_EQ(x.l3Accesses, y.l3Accesses) << "region " << i;
+        EXPECT_EQ(x.l3Misses, y.l3Misses) << "region " << i;
+    }
+    ASSERT_EQ(a.regionOutcomes.size(), b.regionOutcomes.size());
+    for (size_t i = 0; i < a.regionOutcomes.size(); ++i)
+        EXPECT_EQ(a.regionOutcomes[i].ok, b.regionOutcomes[i].ok)
+            << "region " << i;
+}
+
+TEST(ProcsBackend, BitIdenticalToPool)
+{
+    SimConfig pool;
+    pool.jobs = 2;
+    auto pool_res = runCheckpointed(pool);
+    ASSERT_EQ(pool_res.coverage, 1.0);
+
+    SimConfig procs;
+    procs.backend = ExecBackendKind::Procs;
+    procs.jobs = 2;
+    auto procs_res = runCheckpointed(procs);
+    EXPECT_EQ(procs_res.backend, ExecBackendKind::Procs);
+    EXPECT_EQ(procs_res.workerDeaths, 0u);
+    EXPECT_EQ(procs_res.workerRespawns, 0u);
+    expectSameResults(pool_res, procs_res);
+}
+
+TEST(ProcsBackend, WorkerCountInvariance)
+{
+    SimConfig one;
+    one.backend = ExecBackendKind::Procs;
+    one.jobs = 1;
+    auto serial = runCheckpointed(one);
+
+    SimConfig three;
+    three.backend = ExecBackendKind::Procs;
+    three.jobs = 3;
+    auto wide = runCheckpointed(three);
+    expectSameResults(serial, wide);
+}
+
+TEST(ProcsBackend, KilledWorkerIsRespawnedBitIdentical)
+{
+    SimConfig clean;
+    clean.jobs = 2;
+    auto baseline = runCheckpointed(clean);
+
+    // kill under procs SIGKILLs the worker process mid-region; the
+    // coordinator must respawn, re-warm, retry, and end up with a run
+    // indistinguishable from a fault-free one.
+    SimConfig sim;
+    sim.backend = ExecBackendKind::Procs;
+    sim.jobs = 2;
+    sim.regionRetries = 1;
+    sim.faults = FaultPlan::parse("sim:region=0,kind=kill,times=1");
+    auto ckpt = runCheckpointed(sim);
+    EXPECT_EQ(ckpt.coverage, 1.0);
+    EXPECT_EQ(ckpt.failedRegions(), 0u);
+    EXPECT_EQ(ckpt.workerDeaths, 1u);
+    EXPECT_EQ(ckpt.workerRespawns, 1u);
+    expectSameResults(baseline, ckpt);
+}
+
+TEST(ProcsBackend, KilledWorkerWithoutRetryDropsRegion)
+{
+    SimConfig sim;
+    sim.backend = ExecBackendKind::Procs;
+    sim.jobs = 2;
+    sim.regionRetries = 0;
+    sim.faults = FaultPlan::parse("sim:region=0,kind=kill");
+    auto ckpt = runCheckpointed(sim);
+    EXPECT_LT(ckpt.coverage, 1.0);
+    EXPECT_EQ(ckpt.failedRegions(), 1u);
+    EXPECT_EQ(ckpt.workerDeaths, 1u);
+    EXPECT_EQ(ckpt.workerRespawns, 0u);
+    ASSERT_FALSE(ckpt.regionOutcomes.empty());
+    EXPECT_FALSE(ckpt.regionOutcomes[0].ok);
+}
+
+TEST(ProcsBackend, WedgedWorkerKilledByTimeoutAndRetried)
+{
+    SimConfig clean;
+    clean.jobs = 1;
+    auto baseline = runCheckpointed(clean);
+
+    SimConfig sim;
+    sim.backend = ExecBackendKind::Procs;
+    sim.jobs = 2;
+    sim.regionRetries = 1;
+    sim.workerTimeoutSeconds = 0.5;
+    sim.faults = FaultPlan::parse("sim:region=0,kind=wedge,times=1");
+    auto ckpt = runCheckpointed(sim);
+    EXPECT_EQ(ckpt.coverage, 1.0);
+    EXPECT_EQ(ckpt.workerDeaths, 1u);
+    EXPECT_EQ(ckpt.workerRespawns, 1u);
+    expectSameResults(baseline, ckpt);
+}
+
+TEST(PoolBackend, WedgeDegeneratesToRetryableThrow)
+{
+    // The pool backend cannot SIGKILL a thread, so wedge must behave
+    // like a retryable throw there — the phase terminates either way.
+    SimConfig sim;
+    sim.jobs = 2;
+    sim.regionRetries = 1;
+    sim.faults = FaultPlan::parse("sim:region=0,kind=wedge,times=1");
+    auto ckpt = runCheckpointed(sim);
+    EXPECT_EQ(ckpt.coverage, 1.0);
+    EXPECT_EQ(ckpt.failedRegions(), 0u);
+    ASSERT_FALSE(ckpt.regionOutcomes.empty());
+    EXPECT_EQ(ckpt.regionOutcomes[0].attempts, 2u);
+}
+
+} // namespace
+} // namespace looppoint

@@ -42,6 +42,11 @@ struct CliOptions
     /** Host workers for the parallel phases; 0 = hardware concurrency
      * (resolved at parse time so the report shows the real width). */
     uint32_t jobs = 0;
+    /** Execution backend for region simulation: "pool" or "procs". */
+    std::string backend = "pool";
+    /** Procs backend: SIGKILL a wedged worker after this many
+     * seconds; 0 = no timeout. */
+    double workerTimeout = 0.0;
     std::string inputClass = "test";
     std::string waitPolicy = "passive";
     bool native = false;
@@ -67,10 +72,21 @@ usage()
         "                       <suite>-<app>-<input-num>\n"
         "                       (default: demo-matrix-1)\n"
         "  -n, --ncores=N       number of threads (default: 8)\n"
-        "  -j, --jobs=N         host worker threads for region\n"
-        "                       simulation and clustering (default:\n"
-        "                       hardware concurrency; results are\n"
-        "                       identical for any N)\n"
+        "  -j, --jobs=N         host workers for region simulation\n"
+        "                       and clustering; 0 or omitted =\n"
+        "                       auto-detect (hardware concurrency).\n"
+        "                       Results are identical for any N\n"
+        "      --workers=N      alias for --jobs (the region-farm\n"
+        "                       vocabulary; same auto-detect rule)\n"
+        "      --backend=B      execution backend for region\n"
+        "                       simulation: pool (in-process thread\n"
+        "                       pool, default) or procs (forked\n"
+        "                       worker processes; bit-identical\n"
+        "                       metrics, isolates worker crashes)\n"
+        "      --worker-timeout=S  procs only: SIGKILL a worker\n"
+        "                       stuck on one region for more than S\n"
+        "                       seconds, then retry the region\n"
+        "                       (default: 0 = no timeout)\n"
         "  -i, --input-class=C  test | train | ref | A | C | D\n"
         "                       (default: test)\n"
         "  -w, --wait-policy=P  passive | active (default: passive)\n"
@@ -110,7 +126,16 @@ usage()
         "     analysis findings with error severity\n"
         "  2  usage error (bad flag or argument)\n"
         "  3  runtime failure: I/O error, corrupt artifact or journal,\n"
-        "     or (injected) crash\n"
+        "     or (injected) crash. Note the backends differ on a\n"
+        "     worker crash by design: under --backend=pool a (real or\n"
+        "     injected) death takes the whole run down (exit 3, resume\n"
+        "     with --resume); under --backend=procs it kills one\n"
+        "     worker process and the region is retried within its\n"
+        "     --region-retries budget (exit 0 when recovered, 1 when\n"
+        "     the region dropped). --journal/--resume compose with\n"
+        "     either backend: the journal identity excludes host-side\n"
+        "     knobs, so a procs run can resume a pool run's journal\n"
+        "     and vice versa\n"
         "\nexamples (artifact appendix):\n"
         "  ./run_looppoint -p demo-matrix-1 -n 8 --force\n"
         "  ./run_looppoint -p demo-matrix-2,demo-matrix-3 -w active "
@@ -225,8 +250,14 @@ parseCli(int argc, char **argv)
             opts.programs = splitCommas(value);
         } else if (parseArg(argc, argv, i, "-n", "--ncores", &value)) {
             opts.ncores = static_cast<uint32_t>(std::stoul(value));
-        } else if (parseArg(argc, argv, i, "-j", "--jobs", &value)) {
+        } else if (parseArg(argc, argv, i, "-j", "--jobs", &value) ||
+                   parseArg(argc, argv, i, "", "--workers", &value)) {
             opts.jobs = static_cast<uint32_t>(std::stoul(value));
+        } else if (parseArg(argc, argv, i, "", "--backend", &value)) {
+            opts.backend = value;
+        } else if (parseArg(argc, argv, i, "", "--worker-timeout",
+                            &value)) {
+            opts.workerTimeout = std::stod(value);
         } else if (parseArg(argc, argv, i, "-i", "--input-class",
                             &value)) {
             opts.inputClass = value;
@@ -272,11 +303,14 @@ parseCli(int argc, char **argv)
     }
     if (opts.waitPolicy != "passive" && opts.waitPolicy != "active")
         fatal("wait policy must be 'passive' or 'active'");
+    if (opts.backend != "pool" && opts.backend != "procs")
+        fatal("backend must be 'pool' or 'procs'");
+    if (opts.workerTimeout < 0.0)
+        fatal("--worker-timeout must be >= 0");
     // Validate the fault spec up front: a malformed plan is a usage
     // error (exit 2), not a runtime failure.
     FaultPlan::parse(opts.faultSpec);
-    if (opts.jobs == 0)
-        opts.jobs = ThreadPool::defaultWorkers();
+    opts.jobs = ThreadPool::resolveWorkers(opts.jobs);
     return opts;
 }
 
@@ -329,6 +363,9 @@ runOne(const std::string &program, const CliOptions &cli)
     cfg.sim.analysis.lint = cli.lint;
     cfg.sim.analysis.raceCheck = cli.raceCheck;
     cfg.sim.regionRetries = cli.regionRetries;
+    cfg.sim.backend = cli.backend == "procs" ? ExecBackendKind::Procs
+                                             : ExecBackendKind::Pool;
+    cfg.sim.workerTimeoutSeconds = cli.workerTimeout;
     cfg.sim.faults = FaultPlan::parse(cli.faultSpec);
     cfg.sim.obs.trace = !cli.tracePath.empty();
     cfg.sim.obs.metrics = !cli.metricsPath.empty();
@@ -379,6 +416,12 @@ runOne(const std::string &program, const CliOptions &cli)
                 "self-relative speedup %.2fx (efficiency %.0f%%)\n",
                 r.jobs, r.wallPhaseSeconds, r.hostParallelSpeedup,
                 100.0 * r.hostParallelEfficiency);
+    std::printf("backend        : %s, %u worker(s)",
+                execBackendName(r.backend), r.jobs);
+    if (r.backend == ExecBackendKind::Procs)
+        std::printf(", %u death(s), %u respawn(s)", r.workerDeaths,
+                    r.workerRespawns);
+    std::printf("\n");
     std::printf("theo. speedup  : %.1fx serial, %.1fx parallel\n\n",
                 r.theoreticalSerialSpeedup,
                 r.theoreticalParallelSpeedup);
