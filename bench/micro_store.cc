@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Artifact-store memoization microbenchmark: end-to-end wall time of a
+ * uarch sweep (the paper's central use case — one analysis, many
+ * machine configs) with and without the content-addressed store.
+ * Emits BENCH_store.json so successive PRs have a perf trajectory.
+ *
+ * Four scenarios over the same N-preset sweep:
+ *   cold        no store at all — every point pays record + profile +
+ *               cluster + region sim + full reference sim
+ *   populate    empty store — same work plus publish overhead; points
+ *               after the first already reuse the analysis prefix
+ *   warm        identical sweep again — every stage of every point is
+ *               served from the store (the "never recompute" claim;
+ *               must be >= 3x faster than cold and bit-identical)
+ *   extend      one new preset on the warm store — analysis reused,
+ *               only the two simulation stages run (the incremental
+ *               campaign case)
+ *
+ * Flags:
+ *   --app=NAME      workload (default 654.roms_s.1)
+ *   --input=CLASS   test|train|ref (default train)
+ *   --threads=N     simulated thread count (default 4)
+ *   --store=DIR     store directory (default /tmp/lp_bench_store;
+ *                   wiped at startup)
+ *   --out=PATH      JSON output path (default BENCH_store.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/experiment.hh"
+#include "sim/config.hh"
+
+using namespace looppoint;
+using namespace looppoint::bench;
+
+namespace {
+
+const std::vector<std::string> kSweep = {"baseline", "big-l2",
+                                         "small-rob", "slow-mem"};
+const std::string kExtendPreset = "prefetch";
+
+struct StageHits
+{
+    uint32_t record = 0;
+    uint32_t profile = 0;
+    uint32_t cluster = 0;
+    uint32_t sim = 0;
+    uint32_t fullsim = 0;
+};
+
+struct Scenario
+{
+    std::string name;
+    uint32_t points = 0;
+    double wallSeconds = 0.0;
+    StageHits hits;
+    StoreStats store;
+};
+
+InputClass
+parseInput(const std::string &s)
+{
+    if (s == "train")
+        return InputClass::Train;
+    if (s == "ref")
+        return InputClass::Ref;
+    return InputClass::Test;
+}
+
+std::string
+gitSha()
+{
+    std::FILE *p =
+        ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (!p)
+        return "unknown";
+    char buf[64] = {0};
+    std::string sha;
+    if (std::fgets(buf, sizeof(buf), p)) {
+        sha = buf;
+        while (!sha.empty() &&
+               (sha.back() == '\n' || sha.back() == '\r'))
+            sha.pop_back();
+    }
+    ::pclose(p);
+    return sha.empty() ? "unknown" : sha;
+}
+
+std::string
+utcTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
+/** Everything result-bearing in one string: region metrics, the Eq.1
+ * extrapolation, and the reference run. Warm must equal cold. */
+std::string
+resultFingerprint(const ExperimentResult &res)
+{
+    std::string fp;
+    char buf[256];
+    auto add = [&](const SimMetrics &m) {
+        std::snprintf(buf, sizeof(buf), "%llu:%llu:%llu:%.17g;",
+                      static_cast<unsigned long long>(m.cycles),
+                      static_cast<unsigned long long>(m.instructions),
+                      static_cast<unsigned long long>(
+                          m.filteredInstructions),
+                      m.runtimeSeconds);
+        fp += buf;
+    };
+    for (const SimMetrics &m : res.regionMetrics)
+        add(m);
+    std::snprintf(buf, sizeof(buf), "pred=%.17g:%.17g:%.17g;",
+                  res.predicted.runtimeSeconds, res.predicted.cycles,
+                  res.predicted.instructions);
+    fp += buf;
+    add(res.fullSim);
+    std::snprintf(buf, sizeof(buf), "err=%.17g;", res.runtimeErrorPct);
+    fp += buf;
+    return fp;
+}
+
+/** Run one sweep point; accumulate its stage-hit flags. */
+ExperimentResult
+runPoint(const std::string &app, InputClass input, uint32_t threads,
+         const std::string &store_dir, const std::string &preset,
+         Scenario &sc)
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.input = input;
+    cfg.requestedThreads = threads;
+    cfg.storeDir = store_dir;
+    if (input == InputClass::Test)
+        cfg.loopPoint.sliceSizePerThread = 25'000;
+    applyUarchPreset(cfg.sim, preset);
+    ExperimentResult res = runExperiment(cfg);
+    if (res.coverage != 1.0)
+        fatal("%s/%s lost coverage (%.4f)", sc.name.c_str(),
+              preset.c_str(), res.coverage);
+    sc.points++;
+    sc.hits.record += res.analysis.stageHashes.recordHit;
+    sc.hits.profile += res.analysis.stageHashes.profileHit;
+    sc.hits.cluster += res.analysis.stageHashes.clusterHit;
+    sc.hits.sim += res.simStageHit;
+    sc.hits.fullsim += res.fullSimHit;
+    sc.store.hits += res.storeStats.hits;
+    sc.store.misses += res.storeStats.misses;
+    sc.store.publishes += res.storeStats.publishes;
+    sc.store.bytesStored += res.storeStats.bytesStored;
+    sc.store.bytesDeduped += res.storeStats.bytesDeduped;
+    sc.store.bytesRead += res.storeStats.bytesRead;
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    const std::string app = args.get("app", "654.roms_s.1");
+    const std::string input_name = args.get("input", "train");
+    const uint32_t threads =
+        static_cast<uint32_t>(args.getU64("threads", 4));
+    const std::string store_dir =
+        args.get("store", "/tmp/lp_bench_store");
+    const std::string out_path = args.get("out", "BENCH_store.json");
+    const InputClass input = parseInput(input_name);
+
+    if (std::system(("rm -rf '" + store_dir + "'").c_str()) != 0)
+        fatal("cannot clear store dir '%s'", store_dir.c_str());
+
+    printHeader("micro_store: uarch sweep with stage memoization");
+    std::printf("app=%s input=%s threads=%u sweep=%zu presets "
+                "store=%s\n",
+                app.c_str(), input_name.c_str(), threads,
+                kSweep.size(), store_dir.c_str());
+
+    auto timeScenario = [&](Scenario &sc, const std::string &dir,
+                            const std::vector<std::string> &presets,
+                            std::vector<std::string> *fps) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (const std::string &preset : presets) {
+            ExperimentResult res =
+                runPoint(app, input, threads, dir, preset, sc);
+            if (fps)
+                fps->push_back(resultFingerprint(res));
+        }
+        sc.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+    };
+
+    std::vector<std::string> cold_fps, warm_fps;
+    Scenario cold, populate, warm, extend;
+    cold.name = "cold";
+    populate.name = "populate";
+    warm.name = "warm";
+    extend.name = "extend";
+    timeScenario(cold, /*dir=*/"", kSweep, &cold_fps);
+    timeScenario(populate, store_dir, kSweep, nullptr);
+    timeScenario(warm, store_dir, kSweep, &warm_fps);
+    timeScenario(extend, store_dir, {kExtendPreset}, nullptr);
+
+    if (warm_fps != cold_fps)
+        fatal("warm sweep results diverged from cold — the store is "
+              "not bit-faithful");
+    if (warm.store.misses != 0)
+        fatal("warm sweep recomputed %llu stage(s)",
+              static_cast<unsigned long long>(warm.store.misses));
+    if (extend.hits.cluster != 1)
+        fatal("extend point did not reuse the cached analysis");
+
+    const double speedup = warm.wallSeconds > 0.0
+                               ? cold.wallSeconds / warm.wallSeconds
+                               : 0.0;
+    // The analysis prefix is shared sweep-wide, so an incremental
+    // point only pays for the two simulation stages; this is the
+    // fraction of a cold point that work represents.
+    const double sim_fraction =
+        cold.wallSeconds > 0.0
+            ? extend.wallSeconds /
+                  (cold.wallSeconds / kSweep.size())
+            : 0.0;
+
+    std::printf("%-10s %8s %10s %28s\n", "scenario", "points",
+                "wall s", "stage hits r/p/c/s/f");
+    auto row = [](const Scenario &s) {
+        std::printf("%-10s %8u %10.3f %20u/%u/%u/%u/%u\n",
+                    s.name.c_str(), s.points, s.wallSeconds,
+                    s.hits.record, s.hits.profile, s.hits.cluster,
+                    s.hits.sim, s.hits.fullsim);
+    };
+    row(cold);
+    row(populate);
+    row(warm);
+    row(extend);
+    std::printf("warm speedup    : %.1fx (gate: >= 3x)\n", speedup);
+    std::printf("extend cost     : %.0f%% of a cold point\n",
+                sim_fraction * 100.0);
+    if (speedup < 3.0)
+        fatal("warm sweep only %.2fx faster than cold", speedup);
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f)
+        fatal("cannot write '%s'", out_path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"micro_store\",\n");
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", gitSha().c_str());
+    std::fprintf(f, "  \"timestamp\": \"%s\",\n",
+                 utcTimestamp().c_str());
+    std::fprintf(f, "  \"app\": \"%s\",\n", app.c_str());
+    std::fprintf(f, "  \"input\": \"%s\",\n", input_name.c_str());
+    std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"sweep_points\": %zu,\n", kSweep.size());
+    std::fprintf(f, "  \"bit_identical\": true,\n");
+    std::fprintf(f, "  \"warm_speedup\": %.2f,\n", speedup);
+    std::fprintf(f, "  \"extend_cost_of_cold_point\": %.4f,\n",
+                 sim_fraction);
+    std::fprintf(f, "  \"scenarios\": {\n");
+    const Scenario *scenarios[] = {&cold, &populate, &warm, &extend};
+    for (size_t i = 0; i < 4; ++i) {
+        const Scenario &s = *scenarios[i];
+        std::fprintf(
+            f,
+            "    \"%s\": {\"points\": %u, \"wall_seconds\": %.6f, "
+            "\"stage_hits\": {\"record\": %u, \"profile\": %u, "
+            "\"cluster\": %u, \"sim\": %u, \"fullsim\": %u}, "
+            "\"store\": {\"hits\": %llu, \"misses\": %llu, "
+            "\"publishes\": %llu, \"bytes_stored\": %llu, "
+            "\"bytes_deduped\": %llu, \"bytes_read\": %llu}}%s\n",
+            s.name.c_str(), s.points, s.wallSeconds, s.hits.record,
+            s.hits.profile, s.hits.cluster, s.hits.sim,
+            s.hits.fullsim,
+            static_cast<unsigned long long>(s.store.hits),
+            static_cast<unsigned long long>(s.store.misses),
+            static_cast<unsigned long long>(s.store.publishes),
+            static_cast<unsigned long long>(s.store.bytesStored),
+            static_cast<unsigned long long>(s.store.bytesDeduped),
+            static_cast<unsigned long long>(s.store.bytesRead),
+            i + 1 < 4 ? "," : "");
+    }
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

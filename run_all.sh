@@ -38,6 +38,13 @@
 # respawn/retry path recovers full coverage, and the Dist test
 # subset runs.
 #
+# With --store-smoke the artifact store is exercised end to end: a
+# cold run populates the store, a warm re-run must be served with zero
+# misses and bit-identical output on both execution backends, a
+# corrupted object must be evicted and transparently recomputed, and a
+# two-point lp_campaign must reuse the analysis prefix and skip
+# completed jobs on re-invocation.
+#
 # With --faults the fault-tolerance layer is exercised under
 # AddressSanitizer (-DLOOPPOINT_SANITIZE=address in build-asan/): the
 # corruption/journal/fault-injection test subset runs first, then
@@ -52,7 +59,7 @@ if [ "$1" = "--faults" ]; then
         -DLOOPPOINT_WERROR=ON || exit 1
     cmake --build build-asan -j || exit 1
     ctest --test-dir build-asan --output-on-failure -R \
-        'Checksum|FaultPlan|ArtifactIntegrity|HostileInput|LegacyFormat|NoFatalGuard|RunKeyCodec|Journal|FaultPipeline' \
+        'Checksum|FaultPlan|ArtifactIntegrity|HostileInput|LegacyFormat|NoFatalGuard|RunKeyCodec|Journal|FaultPipeline|Sha1|Fingerprint|ArtifactStore|StageKeys|StorePipeline' \
         2>&1 | tee faults_output.txt
     [ "${PIPESTATUS[0]}" = 0 ] || exit 1
 
@@ -157,6 +164,98 @@ if [ "$1" = "--dist-smoke" ]; then
         'DistFrame|DistProtocol|DistWorkers|ProcsBackend|PoolBackend' || exit 1
     rm -f "$out".*.txt
     echo "dist-smoke OK"
+    exit 0
+fi
+
+if [ "$1" = "--store-smoke" ]; then
+    echo "== store smoke: cold populate, warm zero-recompute =="
+    cmake -B build -S . || exit 1
+    cmake --build build -j --target run_looppoint lp_store_tool \
+        lp_campaign lp_report lp_tests || exit 1
+    lp=build/tools/run_looppoint
+    common="-p spec-roms-1 -i train -j 4"
+    store=$(mktemp -d /tmp/lp_store_smoke.XXXXXX)
+    out=/tmp/lp_store_smoke
+    # Lines that legitimately differ between runs: host wall-clock,
+    # store hit accounting, and the eviction notice of the corruption
+    # scenario. Every simulated number must survive the filter.
+    filter='^(journal|host-parallel|backend|actual speedup|store|error: artifact store)'
+    # shellcheck disable=SC2086
+    {
+        $lp $common --store="$store/s" > "$out.cold.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "store-smoke FAIL: cold run exited $rc (want 0)"; exit 1; }
+        grep -q 'store          : 0 hit(s)' "$out.cold.txt" || {
+            echo "store-smoke FAIL: cold run was not a clean miss"; exit 1; }
+
+        $lp $common --store="$store/s" > "$out.warm.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "store-smoke FAIL: warm run exited $rc (want 0)"; exit 1; }
+        grep -q '0 miss(es), 0 publish(es), 0 corrupt, regions cached, fullsim cached' \
+            "$out.warm.txt" || {
+            echo "store-smoke FAIL: warm run recomputed something"; exit 1; }
+        if ! diff <(grep -vE "$filter" "$out.cold.txt") \
+                  <(grep -vE "$filter" "$out.warm.txt"); then
+            echo "store-smoke FAIL: warm output differs from cold"; exit 1
+        fi
+
+        # The store is backend-agnostic: a procs-backend rerun is
+        # served from the pool-populated store, bit-identically.
+        $lp $common --store="$store/s" --backend=procs > "$out.procs.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "store-smoke FAIL: procs run exited $rc (want 0)"; exit 1; }
+        grep -q 'regions cached' "$out.procs.txt" || {
+            echo "store-smoke FAIL: procs run missed the pool-written entries"; exit 1; }
+        if ! diff <(grep -vE "$filter" "$out.cold.txt") \
+                  <(grep -vE "$filter" "$out.procs.txt"); then
+            echo "store-smoke FAIL: procs output differs from cold"; exit 1
+        fi
+
+        echo "== store smoke: corrupt object evicted + recomputed =="
+        obj=$(ls "$store/s/objects" | head -1)
+        printf 'X' | dd of="$store/s/objects/$obj" bs=1 seek=20 \
+            conv=notrunc 2>/dev/null
+        build/tools/lp_store verify "$store/s" > /dev/null 2>&1
+        [ $? -eq 1 ] || { echo "store-smoke FAIL: verify missed the corruption"; exit 1; }
+        $lp $common --store="$store/s" > "$out.heal.txt" 2>&1
+        rc=$?
+        [ $rc -eq 0 ] || { echo "store-smoke FAIL: recovery run exited $rc (want 0)"; exit 1; }
+        grep -q 'evicting corrupt object' "$out.heal.txt" || {
+            echo "store-smoke FAIL: recovery run did not report the eviction"; exit 1; }
+        if ! diff <(grep -vE "$filter" "$out.cold.txt") \
+                  <(grep -vE "$filter" "$out.heal.txt"); then
+            echo "store-smoke FAIL: recovered output differs from cold"; exit 1
+        fi
+        build/tools/lp_store verify "$store/s" > /dev/null || {
+            echo "store-smoke FAIL: store still corrupt after recovery"; exit 1; }
+
+        echo "== store smoke: two-point campaign, incremental re-run =="
+        camp="$store/campaign"
+        build/tools/lp_campaign --apps=spec-roms-1 --inputs=train \
+            --threads=4 --uarch=baseline,big-l2 --out="$camp" \
+            --store="$store/s" > "$out.camp.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "store-smoke FAIL: campaign exited $rc (want 0)"; exit 1; }
+        [ "$(grep -c '^\[run \]' "$out.camp.txt")" = 2 ] || {
+            echo "store-smoke FAIL: campaign did not run 2 jobs"; exit 1; }
+        build/tools/lp_campaign --apps=spec-roms-1 --inputs=train \
+            --threads=4 --uarch=baseline,big-l2 --out="$camp" \
+            --store="$store/s" > "$out.camp2.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "store-smoke FAIL: campaign re-run exited $rc (want 0)"; exit 1; }
+        [ "$(grep -c 'already done' "$out.camp2.txt")" = 2 ] || {
+            echo "store-smoke FAIL: campaign re-run did not skip done jobs"; exit 1; }
+        build/tools/lp_report --campaign="$camp" > "$out.report.txt" || {
+            echo "store-smoke FAIL: lp_report --campaign failed"; exit 1; }
+        grep -q 'hit rate' "$out.report.txt" || {
+            echo "store-smoke FAIL: campaign report lacks store aggregates"; exit 1; }
+    } || exit 1
+
+    echo "== store smoke: store test subset =="
+    ctest --test-dir build --output-on-failure -R \
+        'Sha1|Fingerprint|ArtifactStore|StageKeys|StorePipeline' || exit 1
+    rm -rf "$store" "$out".*.txt
+    echo "store-smoke OK"
     exit 0
 fi
 

@@ -7,6 +7,7 @@
 #include "core/run_journal.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "store/stage_cache.hh"
 #include "util/checksum.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -59,7 +60,17 @@ runExperiment(const ExperimentConfig &cfg)
     res.app = cfg.app;
     res.threads = threads;
 
+    // Artifact store: memoize every stage of this run. The store and
+    // cache outlive the pipeline that borrows them.
+    std::unique_ptr<ArtifactStore> store;
+    std::unique_ptr<StageCache> stage_cache;
+    if (!cfg.storeDir.empty()) {
+        store = std::make_unique<ArtifactStore>(cfg.storeDir);
+        stage_cache = std::make_unique<StageCache>(*store);
+    }
+
     LoopPointPipeline pipeline(prog, opts);
+    pipeline.setStageCache(stage_cache.get());
     res.analysis = pipeline.analyze();
     res.theoreticalSerialSpeedup =
         res.analysis.theoreticalSerialSpeedup();
@@ -73,16 +84,10 @@ runExperiment(const ExperimentConfig &cfg)
     // or foreign journal is a hard error.
     std::unique_ptr<RunJournal> journal;
     if (!cfg.journalPath.empty()) {
-        RunKey key;
-        key.app = cfg.app;
-        key.input = inputClassName(cfg.input);
-        key.threads = threads;
-        key.waitPolicy = cfg.waitPolicy == WaitPolicy::Active
-                             ? "active"
-                             : "passive";
-        key.seed = opts.seed;
-        key.constrained = cfg.constrainedRegions;
-        key.simFingerprint = crc32(sim_cfg.describe());
+        RunKey key = makeRunKey(cfg.app,
+                                std::string(inputClassName(cfg.input)),
+                                threads, cfg.waitPolicy, opts.seed,
+                                cfg.constrainedRegions, sim_cfg);
         journal = std::make_unique<RunJournal>(cfg.journalPath, key);
         if (cfg.resume) {
             if (auto err = journal->load(/*must_exist=*/true))
@@ -97,38 +102,96 @@ runExperiment(const ExperimentConfig &cfg)
     // in isolation. Region wall times exclude the shared analysis
     // pass (they are what a parallel deployment of the checkpoints
     // would see); the checkpoint pass is reported separately.
-    auto ckpt = pipeline.simulateRegionsCheckpointed(
-        res.analysis, sim_cfg, cfg.constrainedRegions, journal.get());
-    res.wallCheckpointSeconds = ckpt.checkpointWallSeconds;
-    res.wallPhaseSeconds = ckpt.phaseWallSeconds;
-    res.jobs = ckpt.jobs;
-    res.backend = ckpt.backend;
-    res.workerDeaths = ckpt.workerDeaths;
-    res.workerRespawns = ckpt.workerRespawns;
-    res.hostParallelSpeedup = ckpt.hostParallelSpeedup();
-    res.hostParallelEfficiency = ckpt.parallelEfficiency();
-    for (double wall : ckpt.regionWallSeconds) {
-        res.wallRegionsTotalSeconds += wall;
-        res.wallRegionsMaxSeconds =
-            std::max(res.wallRegionsMaxSeconds, wall);
+    //
+    // Sim-stage memoization: the dominant cost of a run. Keyed on the
+    // cluster artifact hash + the uarch partition, so a campaign
+    // re-running the same sweep point skips warming and every region
+    // simulation, bit-identically (the store holds the exact journal
+    // records a fault-free run produced).
+    std::string sim_key;
+    std::vector<uint8_t> ok_mask;
+    if (stage_cache && !res.analysis.stageHashes.cluster.empty()) {
+        sim_key = StageCache::simKey(res.analysis.stageHashes.cluster,
+                                     sim_cfg, cfg.constrainedRegions);
+        if (auto recs = stage_cache->loadSimResults(
+                sim_key, res.analysis.regions)) {
+            res.simStageHit = true;
+            res.regionMetrics.reserve(recs->size());
+            for (const auto &rec : *recs)
+                res.regionMetrics.push_back(rec.metrics);
+            ok_mask.assign(res.analysis.regions.size(), 1);
+            res.coverage = 1.0;
+        }
     }
-    res.coverage = ckpt.coverage;
-    res.failedRegions = ckpt.failedRegions();
-    res.journalHits = ckpt.journalHits;
-    std::vector<uint8_t> ok_mask = ckpt.okMask();
-    for (auto &d : ckpt.diagnostics)
-        res.analysis.diagnostics.push_back(std::move(d));
-    res.regionMetrics = std::move(ckpt.regionMetrics);
+    if (!res.simStageHit) {
+        auto ckpt = pipeline.simulateRegionsCheckpointed(
+            res.analysis, sim_cfg, cfg.constrainedRegions,
+            journal.get());
+        res.wallCheckpointSeconds = ckpt.checkpointWallSeconds;
+        res.wallPhaseSeconds = ckpt.phaseWallSeconds;
+        res.jobs = ckpt.jobs;
+        res.backend = ckpt.backend;
+        res.workerDeaths = ckpt.workerDeaths;
+        res.workerRespawns = ckpt.workerRespawns;
+        res.hostParallelSpeedup = ckpt.hostParallelSpeedup();
+        res.hostParallelEfficiency = ckpt.parallelEfficiency();
+        for (double wall : ckpt.regionWallSeconds) {
+            res.wallRegionsTotalSeconds += wall;
+            res.wallRegionsMaxSeconds =
+                std::max(res.wallRegionsMaxSeconds, wall);
+        }
+        res.coverage = ckpt.coverage;
+        res.failedRegions = ckpt.failedRegions();
+        res.journalHits = ckpt.journalHits;
+        ok_mask = ckpt.okMask();
+        for (auto &d : ckpt.diagnostics)
+            res.analysis.diagnostics.push_back(std::move(d));
+        res.regionMetrics = std::move(ckpt.regionMetrics);
+        // Publish only complete, fault-free results: a degraded run's
+        // holes must not be served to later runs as the real thing.
+        if (stage_cache && !sim_key.empty() && res.coverage == 1.0 &&
+            res.failedRegions == 0) {
+            std::vector<RunJournal::Record> recs;
+            recs.reserve(res.analysis.regions.size());
+            for (size_t i = 0; i < res.analysis.regions.size(); ++i) {
+                const LoopPointRegion &r = res.analysis.regions[i];
+                RunJournal::Record rec;
+                rec.regionIndex = static_cast<uint32_t>(i);
+                rec.start = r.start;
+                rec.end = r.end;
+                rec.multiplier = r.multiplier;
+                rec.attempts = std::max(
+                    1u, ckpt.regionOutcomes[i].attempts);
+                rec.metrics = res.regionMetrics[i];
+                recs.push_back(rec);
+            }
+            stage_cache->publishSimResults(sim_key, recs);
+        }
+    }
     res.predicted = extrapolateMetrics(res.analysis, res.regionMetrics,
                                        ok_mask, sim_cfg);
 
     if (cfg.simulateFull) {
         ScopedSpan full_span(tracer, "phase.fullsim");
-        auto t0 = std::chrono::steady_clock::now();
-        res.fullSim = pipeline.simulateFull(sim_cfg);
-        res.wallFullSeconds = secondsSince(t0);
+        std::string full_key;
+        if (stage_cache) {
+            full_key = StageCache::fullSimKey(
+                prog.name, threads, cfg.waitPolicy, opts.seed, sim_cfg);
+            if (auto m = stage_cache->loadFullSim(full_key)) {
+                res.fullSim = *m;
+                res.fullSimHit = true;
+            }
+        }
+        if (!res.fullSimHit) {
+            auto t0 = std::chrono::steady_clock::now();
+            res.fullSim = pipeline.simulateFull(sim_cfg);
+            res.wallFullSeconds = secondsSince(t0);
+            if (stage_cache)
+                stage_cache->publishFullSim(full_key, res.fullSim);
+        }
         res.haveFullSim = true;
-        full_span.arg("wall_seconds", res.wallFullSeconds);
+        full_span.arg("wall_seconds", res.wallFullSeconds)
+            .arg("cached", res.fullSimHit);
 
         res.runtimeErrorPct = absRelErrorPct(
             res.predicted.runtimeSeconds, res.fullSim.runtimeSeconds);
@@ -157,6 +220,8 @@ runExperiment(const ExperimentConfig &cfg)
             res.actualParallelSpeedup =
                 res.wallFullSeconds / res.wallRegionsMaxSeconds;
     }
+    if (store)
+        res.storeStats = store->stats();
     return res;
 }
 

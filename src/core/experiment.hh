@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/looppoint.hh"
+#include "store/artifact_store.hh"
 #include "workload/descriptor.hh"
 
 namespace looppoint {
@@ -53,6 +54,15 @@ struct ExperimentConfig
      * re-simulated (bit-identical to an uninterrupted run).
      */
     bool resume = false;
+    /**
+     * Directory of the content-addressed artifact store. When set,
+     * every pipeline stage (recording, profiling, clustering, region
+     * simulation, full simulation) is memoized: a stage whose key hits
+     * is served from the store bit-identically instead of recomputed,
+     * and fresh results are published back. Empty disables. Safe to
+     * share between concurrent runs (flock-serialized).
+     */
+    std::string storeDir;
 };
 
 /** Everything the evaluation needs, for one experiment. */
@@ -108,6 +118,14 @@ struct ExperimentResult
     size_t failedRegions = 0;
     /** Regions reused from the resume journal. */
     size_t journalHits = 0;
+
+    /** All region results came from the artifact store (no detailed
+     * region simulation ran this run). */
+    bool simStageHit = false;
+    /** The full-program ground truth came from the artifact store. */
+    bool fullSimHit = false;
+    /** Store traffic of this run (all-zero without cfg.storeDir). */
+    StoreStats storeStats;
 };
 
 /** Run one experiment end to end. */

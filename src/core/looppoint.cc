@@ -5,6 +5,7 @@
 #include <exception>
 #include <future>
 #include <limits>
+#include <optional>
 
 #include "analysis/program_lint.hh"
 #include "analysis/race_detector.hh"
@@ -16,6 +17,7 @@
 #include "dcfg/dcfg.hh"
 #include "exec/driver.hh"
 #include "profile/slicer.hh"
+#include "store/stage_cache.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -154,6 +156,17 @@ buildFeatureMatrix(const Program &prog,
                     weight);
             }
         }
+        // Canonical entry order before projecting: the per-thread BBV
+        // maps iterate in insertion order, which a profile artifact
+        // reloaded from the store cannot reproduce — and float
+        // summation in project() is order-sensitive. Sorting by the
+        // (unique) concatenated index makes the features a pure
+        // function of the BBV *contents*, so cached and fresh profiles
+        // cluster bit-identically.
+        std::sort(sparse.begin(), sparse.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
         features[i] = projector.project(sparse);
     });
     return features;
@@ -167,33 +180,99 @@ LoopPointPipeline::analyze()
     Tracer &tracer = Tracer::global();
 
     // (1) Record the whole program once as a pinball: the repeatable,
-    // up-front application analysis substrate.
+    // up-front application analysis substrate. With a stage cache, a
+    // prior run's pinball is reused when the recording key (workload,
+    // threads, wait policy, seed, flow quantum) matches.
     {
         ScopedSpan span(tracer, "analyze.record");
-        out.pinball = recordPinball(*prog, cfg, opts.flowQuantum);
-        span.arg("threads", cfg.numThreads);
+        std::string key;
+        if (cache) {
+            key = StageCache::recordKey(prog->name, opts);
+            if (auto hit = cache->loadPinball(key)) {
+                // Belt-and-braces: the key already encodes this, but a
+                // mis-bound manifest entry must not smuggle in another
+                // workload's schedule.
+                if (hit->pinball.programName == prog->name &&
+                    hit->pinball.config == cfg) {
+                    out.pinball = std::move(hit->pinball);
+                    out.stageHashes.record = std::move(hit->hash);
+                    out.stageHashes.recordHit = true;
+                }
+            }
+        }
+        if (!out.stageHashes.recordHit) {
+            out.pinball = recordPinball(*prog, cfg, opts.flowQuantum);
+            if (cache)
+                out.stageHashes.record =
+                    cache->publishPinball(key, out.pinball);
+        }
+        span.arg("threads", cfg.numThreads)
+            .arg("cached", out.stageHashes.recordHit);
     }
 
     // (2) Constrained replay #1: build the DCFG and identify the legal
-    // region markers (main-image loop headers).
-    DcfgBuilder dcfg_builder(*prog, cfg.numThreads);
-    Dcfg dcfg = [&] {
+    // region markers (main-image loop headers). The DCFG is an
+    // intermediate of profiling, so a profile-stage hit skips this
+    // replay entirely — unless the lint pass needs the DCFG anyway.
+    std::optional<Dcfg> dcfg;
+    auto build_dcfg = [&] {
         ScopedSpan span(tracer, "analyze.dcfg");
+        DcfgBuilder dcfg_builder(*prog, cfg.numThreads);
         replayPinball(*prog, out.pinball, opts.flowQuantum,
                       &dcfg_builder);
-        return dcfg_builder.build();
-    }();
+        dcfg = dcfg_builder.build();
+    };
 
-    // (2b) Optional verification passes over the freshly recorded
-    // execution. They only produce diagnostics; the pipeline output is
-    // unaffected.
+    // (3) Constrained replay #2: collect per-slice, per-thread BBVs
+    // with spin/synchronization filtering. Keyed on the recording's
+    // content hash plus the fields this stage consumes.
+    std::string profile_key;
+    if (cache && !out.stageHashes.record.empty()) {
+        profile_key =
+            StageCache::profileKey(out.stageHashes.record, opts);
+        if (auto hit = cache->loadSlices(profile_key)) {
+            out.slices = std::move(hit->slices);
+            out.stageHashes.profile = std::move(hit->hash);
+            out.stageHashes.profileHit = true;
+        }
+    }
+    if (!out.stageHashes.profileHit) {
+        build_dcfg();
+        std::vector<BlockId> markers = dcfg->mainImageLoopHeaders();
+        if (markers.empty())
+            fatal("program '%s' exposes no main-image loop headers to "
+                  "mark regions", prog->name.c_str());
+        const uint64_t slice_global =
+            opts.sliceSizePerThread * cfg.numThreads;
+        SliceProfiler profiler(*prog, markers, slice_global,
+                               cfg.numThreads, opts.filterSpin);
+        {
+            ScopedSpan span(tracer, "analyze.profile");
+            replayPinball(*prog, out.pinball, opts.flowQuantum,
+                          &profiler);
+            profiler.finalize();
+            out.slices = profiler.slices();
+            span.arg("slices",
+                     static_cast<uint64_t>(out.slices.size()));
+        }
+        if (cache)
+            out.stageHashes.profile =
+                cache->publishSlices(profile_key, out.slices);
+    }
+    LP_ASSERT(!out.slices.empty());
+
+    // (2b) Optional verification passes over the recorded execution.
+    // They only produce diagnostics; the pipeline output is
+    // unaffected. Lint wants the DCFG, which a profile hit skipped.
     if (opts.analysis.lint || opts.analysis.raceCheck) {
+        if (opts.analysis.lint && !dcfg)
+            build_dcfg();
         ScopedSpan span(tracer, "analyze.verify");
         DiagnosticSink sink;
         if (opts.analysis.lint) {
             LintContext lint_ctx;
             lint_ctx.prog = prog;
-            lint_ctx.dcfg = &dcfg;
+            lint_ctx.dcfg = &*dcfg;
             lint_ctx.pinball = &out.pinball;
             lint_ctx.flowQuantum = opts.flowQuantum;
             ProgramLint().run(lint_ctx, sink);
@@ -206,26 +285,6 @@ LoopPointPipeline::analyze()
                  static_cast<uint64_t>(out.diagnostics.size()));
     }
 
-    std::vector<BlockId> markers = dcfg.mainImageLoopHeaders();
-    if (markers.empty())
-        fatal("program '%s' exposes no main-image loop headers to mark "
-              "regions", prog->name.c_str());
-
-    // (3) Constrained replay #2: collect per-slice, per-thread BBVs
-    // with spin/synchronization filtering.
-    const uint64_t slice_global =
-        opts.sliceSizePerThread * cfg.numThreads;
-    SliceProfiler profiler(*prog, markers, slice_global, cfg.numThreads,
-                           opts.filterSpin);
-    {
-        ScopedSpan span(tracer, "analyze.profile");
-        replayPinball(*prog, out.pinball, opts.flowQuantum, &profiler);
-        profiler.finalize();
-        out.slices = profiler.slices();
-        span.arg("slices", static_cast<uint64_t>(out.slices.size()));
-    }
-    LP_ASSERT(!out.slices.empty());
-
     for (const auto &s : out.slices) {
         out.totalFilteredIcount += s.filteredIcount;
         out.totalIcount += s.totalIcount;
@@ -234,7 +293,27 @@ LoopPointPipeline::analyze()
     // (4) Cluster the projected BBVs and pick one representative per
     // cluster, weighted by the cluster's share of the work (Eq. 2).
     // Both the projection and the K sweep fan out over the shared
-    // pool when opts.jobs allows.
+    // pool when opts.jobs allows. Keyed on the profile artifact hash
+    // plus the clustering knobs; a hit skips projection + K sweep.
+    std::string cluster_key;
+    if (cache && !out.stageHashes.profile.empty()) {
+        cluster_key =
+            StageCache::clusterKey(out.stageHashes.profile, opts);
+        if (auto hit = cache->loadCluster(cluster_key)) {
+            if (hit->art.assignment.size() == out.slices.size() &&
+                !hit->art.regions.empty()) {
+                out.assignment = std::move(hit->art.assignment);
+                out.chosenK = hit->art.chosenK;
+                out.bicByK = std::move(hit->art.bicByK);
+                out.regions = std::move(hit->art.regions);
+                out.stageHashes.cluster = std::move(hit->hash);
+                out.stageHashes.clusterHit = true;
+            }
+        }
+    }
+    if (out.stageHashes.clusterHit)
+        return out;
+
     ThreadPool *pool = poolFor(opts.jobs);
     FeatureMatrix features = [&] {
         ScopedSpan span(tracer, "analyze.project");
@@ -298,6 +377,10 @@ LoopPointPipeline::analyze()
         out.regions.push_back(region);
     }
     LP_ASSERT(!out.regions.empty());
+    if (cache)
+        out.stageHashes.cluster = cache->publishCluster(
+            cluster_key, {out.assignment, out.chosenK, out.bicByK,
+                          out.regions});
     return out;
 }
 

@@ -35,6 +35,7 @@
 namespace looppoint {
 
 class RunJournal;
+class StageCache;
 class ThreadPool;
 
 /** Tunables of the analysis phase. */
@@ -88,6 +89,23 @@ struct LoopPointRegion
     double multiplier = 1.0;
 };
 
+/**
+ * Content hashes of the analysis-stage artifacts, when a stage cache
+ * was attached (empty strings otherwise). Downstream stage keys chain
+ * on these, so invalidation propagates without any global version
+ * number. The hit flags say whether the stage was served from the
+ * store or computed (and published) this run.
+ */
+struct StageHashes
+{
+    std::string record;
+    std::string profile;
+    std::string cluster;
+    bool recordHit = false;
+    bool profileHit = false;
+    bool clusterHit = false;
+};
+
 /** Complete analysis output. */
 struct LoopPointResult
 {
@@ -105,6 +123,8 @@ struct LoopPointResult
     double clusterWallSeconds = 0.0;
     /** Findings of the enabled analysis passes (empty when off). */
     std::vector<Diagnostic> diagnostics;
+    /** Artifact-store provenance (empty without a stage cache). */
+    StageHashes stageHashes;
 
     /** Work reduction with regions simulated back-to-back. */
     double theoreticalSerialSpeedup() const;
@@ -301,6 +321,14 @@ class LoopPointPipeline
 
     const LoopPointOptions &options() const { return opts; }
 
+    /**
+     * Attach a stage cache: analyze() then serves recording,
+     * profiling, and clustering from the store when their stage keys
+     * hit, and publishes freshly computed artifacts back. Results are
+     * bit-identical either way; nullptr detaches.
+     */
+    void setStageCache(StageCache *cache_) { cache = cache_; }
+
   private:
     ExecConfig execConfig() const;
 
@@ -312,6 +340,7 @@ class LoopPointPipeline
 
     const Program *prog;
     LoopPointOptions opts;
+    StageCache *cache = nullptr;
     mutable std::unique_ptr<ThreadPool> sharedPool;
 };
 

@@ -13,34 +13,6 @@ namespace {
 
 constexpr const char *kJournalMagic = "looppoint-journal-v1";
 
-std::string
-withCrc(const std::string &line)
-{
-    return line + " crc=" + crcHex(crc32(line));
-}
-
-/**
- * Strip and verify a line's ` crc=XXXXXXXX` trailer. Returns the
- * payload (everything before the trailer) or nullopt when the trailer
- * is missing, malformed, or does not match the payload bytes.
- */
-std::optional<std::string>
-checkCrc(const std::string &line)
-{
-    static const std::string marker = " crc=";
-    auto pos = line.rfind(marker);
-    if (pos == std::string::npos)
-        return std::nullopt;
-    uint32_t stored = 0;
-    if (!parseCrcHex(std::string_view(line).substr(pos + marker.size()),
-                     stored))
-        return std::nullopt;
-    std::string payload = line.substr(0, pos);
-    if (crc32(payload) != stored)
-        return std::nullopt;
-    return payload;
-}
-
 } // namespace
 
 std::string
@@ -52,6 +24,22 @@ RunKey::encode() const
        << " constrained=" << (constrained ? 1 : 0) << " sim="
        << crcHex(simFingerprint);
     return os.str();
+}
+
+RunKey
+makeRunKey(const std::string &app, const std::string &input,
+           uint32_t threads, WaitPolicy wait_policy, uint64_t seed,
+           bool constrained, const SimConfig &sim_cfg)
+{
+    RunKey key;
+    key.app = app;
+    key.input = input;
+    key.threads = threads;
+    key.waitPolicy = waitPolicyName(wait_policy);
+    key.seed = seed;
+    key.constrained = constrained;
+    key.simFingerprint = crc32(sim_cfg.uarchKeyText());
+    return key;
 }
 
 RunJournal::RunJournal(std::string path, RunKey key_)
@@ -77,7 +65,7 @@ RunJournal::load(bool must_exist)
     std::string line;
     if (!std::getline(is, line))
         return LoadError{LoadErrorKind::Truncated, "journal is empty"};
-    auto magic = checkCrc(line);
+    auto magic = checkCrcLine(line);
     if (!magic || *magic != kJournalMagic)
         return LoadError{LoadErrorKind::BadMagic,
                          "'" + filePath + "' is not a looppoint run "
@@ -85,7 +73,7 @@ RunJournal::load(bool must_exist)
     if (!std::getline(is, line))
         return LoadError{LoadErrorKind::Truncated,
                          "journal has no key line"};
-    auto key_line = checkCrc(line);
+    auto key_line = checkCrcLine(line);
     if (!key_line)
         return LoadError{LoadErrorKind::BadChecksum,
                          "journal key line fails its checksum"};
@@ -97,7 +85,7 @@ RunJournal::load(bool must_exist)
                 key.encode() + "'"};
 
     while (std::getline(is, line)) {
-        auto payload = checkCrc(line);
+        auto payload = checkCrcLine(line);
         auto rec = payload ? parseJournalRecord(*payload)
                            : std::optional<Record>();
         if (!rec) {
@@ -163,10 +151,10 @@ RunJournal::rewriteLocked()
         std::ofstream os(tmp, std::ios::trunc);
         if (!os)
             return false;
-        os << withCrc(kJournalMagic) << '\n';
-        os << withCrc(key.encode()) << '\n';
+        os << withCrcLine(kJournalMagic) << '\n';
+        os << withCrcLine(key.encode()) << '\n';
         for (const auto &r : records)
-            os << withCrc(encodeJournalRecord(r)) << '\n';
+            os << withCrcLine(encodeJournalRecord(r)) << '\n';
         os.flush();
         if (!os)
             return false;

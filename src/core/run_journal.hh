@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "profile/bbv.hh"
+#include "sim/config.hh"
 #include "sim/multicore.hh"
 #include "util/load_result.hh"
 
@@ -67,6 +68,17 @@ struct RunKey
 
     bool operator==(const RunKey &other) const = default;
 };
+
+/**
+ * The one place run identity is assembled (journal, store, campaign):
+ * the sim fingerprint is the CRC of SimConfig::uarchKeyText(), i.e.
+ * exactly the result-affecting config partition — host-side knobs can
+ * never split or join journal reuse.
+ */
+RunKey makeRunKey(const std::string &app, const std::string &input,
+                  uint32_t threads, WaitPolicy wait_policy,
+                  uint64_t seed, bool constrained,
+                  const SimConfig &sim_cfg);
 
 /** See file comment. */
 class RunJournal

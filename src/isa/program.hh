@@ -110,6 +110,13 @@ enum class WaitPolicy : uint8_t
     Active   ///< spin in the runtime library, consuming instructions
 };
 
+/** "passive" / "active" — the spelling every key and CLI flag uses. */
+constexpr const char *
+waitPolicyName(WaitPolicy policy)
+{
+    return policy == WaitPolicy::Active ? "active" : "passive";
+}
+
 /**
  * One element of a kernel body. The execution engine interprets the
  * body tree once per parallel iteration.

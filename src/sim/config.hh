@@ -172,7 +172,31 @@ struct SimConfig
 
     /** Human-readable Table I-style description. */
     std::string describe() const;
+
+    /**
+     * Canonical one-line encoding of every *result-affecting*
+     * (microarchitectural) field — the config partition that keys the
+     * run journal and the store's region-simulation stage. Host-side
+     * knobs (jobs, backend, obs, retries, watchdog, worker timeout,
+     * reference scheduler, analysis passes, fault plan) are
+     * deliberately absent: flipping them never changes simulated
+     * metrics, so they must never invalidate cached results. Unlike
+     * describe(), this covers prefetchDegree and the op latencies —
+     * the journal historically fingerprinted describe(), which missed
+     * both.
+     */
+    std::string uarchKeyText() const;
 };
+
+/**
+ * Named microarchitecture presets for campaign sweeps (lp_campaign
+ * --uarch, bench/micro_store). "baseline" is Table I; the others vary
+ * exactly one uarch dimension. Unknown names call fatal().
+ */
+void applyUarchPreset(SimConfig &cfg, const std::string &name);
+
+/** The preset names applyUarchPreset accepts, comma-separated. */
+std::string uarchPresetNames();
 
 } // namespace looppoint
 

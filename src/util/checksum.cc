@@ -46,6 +46,29 @@ crcHex(uint32_t crc)
     return out;
 }
 
+std::string
+withCrcLine(const std::string &line)
+{
+    return line + " crc=" + crcHex(crc32(line));
+}
+
+std::optional<std::string>
+checkCrcLine(const std::string &line)
+{
+    static const std::string marker = " crc=";
+    auto pos = line.rfind(marker);
+    if (pos == std::string::npos)
+        return std::nullopt;
+    uint32_t stored = 0;
+    if (!parseCrcHex(std::string_view(line).substr(pos + marker.size()),
+                     stored))
+        return std::nullopt;
+    std::string payload = line.substr(0, pos);
+    if (crc32(payload) != stored)
+        return std::nullopt;
+    return payload;
+}
+
 bool
 parseCrcHex(std::string_view text, uint32_t &out)
 {

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -35,6 +36,20 @@ std::string crcHex(uint32_t crc);
  * leaves `out` untouched) on malformed input.
  */
 bool parseCrcHex(std::string_view text, uint32_t &out);
+
+/**
+ * Line-trailer convention shared by the run journal and the artifact
+ * store manifest: every line ends in ` crc=XXXXXXXX` covering the
+ * bytes before it.
+ */
+std::string withCrcLine(const std::string &line);
+
+/**
+ * Strip and verify a line's ` crc=XXXXXXXX` trailer. Returns the
+ * payload (everything before the trailer), or nullopt when the trailer
+ * is missing, malformed, or does not match the payload bytes.
+ */
+std::optional<std::string> checkCrcLine(const std::string &line);
 
 } // namespace looppoint
 

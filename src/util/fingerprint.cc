@@ -1,0 +1,75 @@
+#include "util/fingerprint.hh"
+
+#include <cstdio>
+
+#include "util/checksum.hh"
+
+namespace looppoint {
+
+namespace {
+
+/** Manifest lines are space-separated; keys must never split them. */
+void
+appendSanitized(std::string &out, std::string_view value)
+{
+    for (char c : value)
+        out.push_back(c == ' ' || c == '\n' || c == '\t' ? '_' : c);
+}
+
+} // namespace
+
+FingerprintBuilder::FingerprintBuilder(std::string_view stage)
+{
+    appendSanitized(out, stage);
+    out.push_back(';');
+}
+
+FingerprintBuilder &
+FingerprintBuilder::field(std::string_view name, std::string_view value)
+{
+    appendSanitized(out, name);
+    out.push_back('=');
+    appendSanitized(out, value);
+    out.push_back(';');
+    return *this;
+}
+
+FingerprintBuilder &
+FingerprintBuilder::field(std::string_view name, uint64_t value)
+{
+    return field(name, std::string_view(std::to_string(value)));
+}
+
+FingerprintBuilder &
+FingerprintBuilder::field(std::string_view name, uint32_t value)
+{
+    return field(name, static_cast<uint64_t>(value));
+}
+
+FingerprintBuilder &
+FingerprintBuilder::field(std::string_view name, int value)
+{
+    return field(name, std::string_view(std::to_string(value)));
+}
+
+FingerprintBuilder &
+FingerprintBuilder::field(std::string_view name, bool value)
+{
+    return field(name, std::string_view(value ? "1" : "0"));
+}
+
+FingerprintBuilder &
+FingerprintBuilder::fieldDouble(std::string_view name, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return field(name, std::string_view(buf));
+}
+
+uint32_t
+FingerprintBuilder::crc() const
+{
+    return crc32(out);
+}
+
+} // namespace looppoint

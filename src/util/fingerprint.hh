@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Canonical config fingerprinting, shared by the run journal, the
+ * artifact store's stage keys, and the campaign driver. One encoder
+ * means one answer to "do these two runs have the same identity":
+ * every consumer renders `name=value;` segments through the same
+ * formatting rules (%.17g doubles, space-free values), so a key built
+ * in one layer matches a key rebuilt in another byte for byte.
+ */
+
+#ifndef LOOPPOINT_UTIL_FINGERPRINT_HH
+#define LOOPPOINT_UTIL_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace looppoint {
+
+/**
+ * Accumulates `name=value;` segments into a canonical one-line text.
+ * Values are sanitized to be space- and newline-free so the result can
+ * be embedded in line-oriented manifests verbatim.
+ */
+class FingerprintBuilder
+{
+  public:
+    /** `stage` leads the text (e.g. "record-v1;"): it carries the
+     * stage name and its code version, so bumping a stage's logic
+     * invalidates exactly that stage and its downstreams. */
+    explicit FingerprintBuilder(std::string_view stage);
+
+    FingerprintBuilder &field(std::string_view name,
+                              std::string_view value);
+    /** Without this overload a string literal would convert to bool
+     * (pointer decay beats the user-defined string_view conversion)
+     * and every such field would silently render as `1`. */
+    FingerprintBuilder &field(std::string_view name, const char *value)
+    {
+        return field(name, std::string_view(value));
+    }
+    FingerprintBuilder &field(std::string_view name, uint64_t value);
+    FingerprintBuilder &field(std::string_view name, uint32_t value);
+    FingerprintBuilder &field(std::string_view name, int value);
+    FingerprintBuilder &field(std::string_view name, bool value);
+    /** %.17g: doubles round-trip exactly, so equal configs always
+     * fingerprint equal and unequal ones never collide by rounding. */
+    FingerprintBuilder &fieldDouble(std::string_view name, double value);
+
+    /** The canonical text, e.g. "record-v1;threads=4;seed=42;". */
+    const std::string &text() const { return out; }
+    /** CRC32 of text() — the compact form for journal keys. */
+    uint32_t crc() const;
+
+  private:
+    std::string out;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_UTIL_FINGERPRINT_HH

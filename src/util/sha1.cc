@@ -1,0 +1,135 @@
+#include "util/sha1.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+inline uint32_t
+rotl(uint32_t v, unsigned bits)
+{
+    return (v << bits) | (v >> (32 - bits));
+}
+
+} // namespace
+
+Sha1::Sha1()
+{
+    h[0] = 0x67452301u;
+    h[1] = 0xEFCDAB89u;
+    h[2] = 0x98BADCFEu;
+    h[3] = 0x10325476u;
+    h[4] = 0xC3D2E1F0u;
+}
+
+void
+Sha1::processBlock(const uint8_t *block)
+{
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+               (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+               (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+               static_cast<uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+        uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5A827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDCu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6u;
+        }
+        uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = tmp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+}
+
+void
+Sha1::update(const void *data, size_t len)
+{
+    LP_ASSERT(!finalized);
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    totalBytes += len;
+    while (len > 0) {
+        if (bufLen == 0 && len >= 64) {
+            processBlock(p);
+            p += 64;
+            len -= 64;
+            continue;
+        }
+        size_t take = 64 - bufLen;
+        if (take > len)
+            take = len;
+        std::memcpy(buf + bufLen, p, take);
+        bufLen += take;
+        p += take;
+        len -= take;
+        if (bufLen == 64) {
+            processBlock(buf);
+            bufLen = 0;
+        }
+    }
+}
+
+std::string
+Sha1::hex()
+{
+    LP_ASSERT(!finalized);
+    const uint64_t total_bits = totalBytes * 8;
+
+    // Pad: 0x80, zeros to 56 mod 64, then the bit length big-endian.
+    buf[bufLen++] = 0x80;
+    if (bufLen > 56) {
+        std::memset(buf + bufLen, 0, 64 - bufLen);
+        processBlock(buf);
+        bufLen = 0;
+    }
+    std::memset(buf + bufLen, 0, 56 - bufLen);
+    for (int i = 0; i < 8; ++i)
+        buf[56 + i] = static_cast<uint8_t>(total_bits >> (56 - 8 * i));
+    processBlock(buf);
+    finalized = true;
+
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    out.reserve(40);
+    for (uint32_t word : h) {
+        for (int shift = 28; shift >= 0; shift -= 4)
+            out.push_back(digits[(word >> shift) & 0xF]);
+    }
+    return out;
+}
+
+std::string
+sha1Hex(std::string_view payload)
+{
+    Sha1 s;
+    s.update(payload);
+    return s.hex();
+}
+
+} // namespace looppoint

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SHA-1 content hashing for the artifact store. CRC32 (util/checksum)
+ * stays the per-artifact integrity check; SHA-1 is the *addressing*
+ * hash — 160 bits so unrelated artifacts cannot collide into the same
+ * object file at any realistic store size. Values match
+ * `python3 -c "import hashlib; print(hashlib.sha1(b'...').hexdigest())"`
+ * so stores remain auditable with stock tools.
+ */
+
+#ifndef LOOPPOINT_UTIL_SHA1_HH
+#define LOOPPOINT_UTIL_SHA1_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace looppoint {
+
+/** Incremental SHA-1 (FIPS 180-1). */
+class Sha1
+{
+  public:
+    Sha1();
+
+    void update(const void *data, size_t len);
+    void
+    update(std::string_view s)
+    {
+        update(s.data(), s.size());
+    }
+
+    /** Finalize and return the 40-char lowercase hex digest. */
+    std::string hex();
+
+  private:
+    void processBlock(const uint8_t *block);
+
+    uint32_t h[5];
+    uint64_t totalBytes = 0;
+    uint8_t buf[64];
+    size_t bufLen = 0;
+    bool finalized = false;
+};
+
+/** One-shot digest of a payload. */
+std::string sha1Hex(std::string_view payload);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_UTIL_SHA1_HH

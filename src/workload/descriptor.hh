@@ -150,6 +150,19 @@ const AppDescriptor &demoMatrixApp();
 /** Look up an app by name across all suites; throws FatalError. */
 const AppDescriptor &findApp(const std::string &name);
 
+/**
+ * Translate an artifact-style program name
+ * (<suite>-<application>-<input-num>, e.g. demo-matrix-1,
+ * spec-roms-1, npb-bt-1) to a workload-table app name; throws
+ * FatalError on an unknown suite or program. Shared by run_looppoint
+ * and lp_campaign so both spell workloads the same way.
+ */
+std::string resolveArtifactProgram(const std::string &prog);
+
+/** Parse an input-class name (test, train, ref, A, C, D); throws
+ * FatalError on an unknown name. */
+InputClass resolveInputClass(const std::string &name);
+
 /** Lower a descriptor to a concrete Program for an input class. */
 Program generateProgram(const AppDescriptor &app, InputClass input);
 

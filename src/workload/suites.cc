@@ -685,4 +685,59 @@ findApp(const std::string &name)
     fatal("unknown application '%s'", name.c_str());
 }
 
+std::string
+resolveArtifactProgram(const std::string &prog)
+{
+    auto dash1 = prog.find('-');
+    auto dash2 = prog.rfind('-');
+    if (dash1 == std::string::npos || dash2 == dash1)
+        fatal("program '%s' is not of the form "
+              "<suite>-<application>-<input-num>", prog.c_str());
+    std::string suite = prog.substr(0, dash1);
+    std::string app = prog.substr(dash1 + 1, dash2 - dash1 - 1);
+    std::string input_num = prog.substr(dash2 + 1);
+
+    if (suite == "demo")
+        return "demo-matrix";
+    if (suite == "npb")
+        return "npb-" + app;
+    if (suite == "pt")
+        return "pt-" + app;
+    if (suite == "spec") {
+        // Accept either the numbered name (spec-638.imagick_s-1) or
+        // the short name (spec-imagick-1).
+        for (const auto &d : spec2017Apps()) {
+            if (d.name == app + "." + input_num)
+                return d.name;
+            // short form: match ".<short>_s.<num>"
+            std::string needle = "." + app + "_s." + input_num;
+            if (d.name.size() > needle.size() &&
+                d.name.compare(d.name.size() - needle.size(),
+                               needle.size(), needle) == 0)
+                return d.name;
+        }
+        fatal("unknown SPEC program '%s'", prog.c_str());
+    }
+    fatal("unknown suite '%s' (expected demo, spec, npb, or pt)",
+          suite.c_str());
+}
+
+InputClass
+resolveInputClass(const std::string &name)
+{
+    if (name == "test")
+        return InputClass::Test;
+    if (name == "train")
+        return InputClass::Train;
+    if (name == "ref")
+        return InputClass::Ref;
+    if (name == "A")
+        return InputClass::NpbA;
+    if (name == "C")
+        return InputClass::NpbC;
+    if (name == "D")
+        return InputClass::NpbD;
+    fatal("unknown input class '%s'", name.c_str());
+}
+
 } // namespace looppoint

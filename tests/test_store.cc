@@ -1,0 +1,575 @@
+/**
+ * @file
+ * Artifact-store tests: the SHA-1 / fingerprint primitives, the
+ * content-addressed store (roundtrip, dedup, corrupt-entry eviction,
+ * LRU GC, cross-instance persistence), the stage-key partition (which
+ * config fields invalidate which stage — the contract the whole
+ * memoization design rests on), and the end-to-end property: a warm
+ * rerun is served entirely from the store bit-identically, including
+ * after an artifact has been corrupted on disk.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/run_journal.hh"
+#include "store/artifact_store.hh"
+#include "store/stage_cache.hh"
+#include "util/fingerprint.hh"
+#include "util/sha1.hh"
+#include "workload/descriptor.hh"
+
+namespace looppoint {
+namespace {
+
+/** Fresh, empty store directory under the test tmpdir. */
+std::string
+freshStoreDir(const std::string &name)
+{
+    std::string dir = testing::TempDir() + "lp_store_" + name;
+    std::string cmd = "rm -rf '" + dir + "'";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    return dir;
+}
+
+TEST(Sha1, KnownVectors)
+{
+    EXPECT_EQ(sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    EXPECT_EQ(sha1Hex("abc"),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+    EXPECT_EQ(sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlm"
+                      "nomnopnopq"),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+    EXPECT_EQ(sha1Hex(std::string(1'000'000, 'a')),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot)
+{
+    std::string payload;
+    for (int i = 0; i < 1000; ++i)
+        payload += "chunk-" + std::to_string(i) + ";";
+    Sha1 h;
+    // Deliberately awkward chunk boundaries around the 64-byte block.
+    size_t pos = 0;
+    size_t step = 1;
+    while (pos < payload.size()) {
+        size_t n = std::min(step, payload.size() - pos);
+        h.update(std::string_view(payload).substr(pos, n));
+        pos += n;
+        step = step * 7 % 129 + 1;
+    }
+    EXPECT_EQ(h.hex(), sha1Hex(payload));
+}
+
+TEST(Fingerprint, CanonicalTextAndSanitization)
+{
+    std::string text = FingerprintBuilder("stage-v1")
+                           .field("name", "a b\tc\nd")
+                           .field("n", uint64_t{42})
+                           .field("flag", true)
+                           .fieldDouble("x", 0.1)
+                           .text();
+    // Values are whitespace-sanitized so the manifest's line format
+    // can never be split by a key.
+    EXPECT_EQ(text, "stage-v1;name=a_b_c_d;n=42;flag=1;"
+                    "x=0.10000000000000001;");
+    EXPECT_EQ(FingerprintBuilder("stage-v1").text(), "stage-v1;");
+}
+
+// ------------------------------------------------------------- store
+
+TEST(ArtifactStore, RoundtripAndPersistence)
+{
+    std::string dir = freshStoreDir("roundtrip");
+    std::string hash;
+    {
+        ArtifactStore store(dir);
+        EXPECT_FALSE(store.lookup("record", "k1"));
+        EXPECT_EQ(store.stats().misses, 1u);
+        hash = store.publish("record", "k1", "payload-one");
+        EXPECT_EQ(hash, sha1Hex("payload-one"));
+        auto hit = store.lookup("record", "k1");
+        ASSERT_TRUE(hit);
+        EXPECT_EQ(hit->payload, "payload-one");
+        EXPECT_EQ(hit->hash, hash);
+    }
+    // A second instance (fresh process, conceptually) sees the same
+    // binding: the manifest and objects live on disk.
+    ArtifactStore store2(dir);
+    auto hit = store2.lookup("record", "k1");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->payload, "payload-one");
+    EXPECT_EQ(store2.hashFor("record", "k1"), hash);
+    ASSERT_EQ(store2.entries().size(), 1u);
+    EXPECT_EQ(store2.entries()[0].stage, "record");
+    EXPECT_EQ(store2.verify(), 0u);
+}
+
+TEST(ArtifactStore, DeduplicatesIdenticalContent)
+{
+    std::string dir = freshStoreDir("dedup");
+    ArtifactStore store(dir);
+    std::string h1 = store.publish("profile", "keyA", "same-bytes");
+    uint64_t stored_after_first = store.stats().bytesStored;
+    EXPECT_GT(stored_after_first, 0u);
+    std::string h2 = store.publish("profile", "keyB", "same-bytes");
+    EXPECT_EQ(h1, h2);
+    // Second publish wrote nothing new, only a manifest binding.
+    EXPECT_EQ(store.stats().bytesStored, stored_after_first);
+    EXPECT_EQ(store.stats().bytesDeduped,
+              std::string("same-bytes").size());
+    ASSERT_EQ(store.entries().size(), 2u);
+}
+
+TEST(ArtifactStore, CorruptObjectEvictedAndRecomputable)
+{
+    std::string dir = freshStoreDir("corrupt");
+    ArtifactStore store(dir);
+    std::string hash = store.publish("cluster", "k", "precious-data");
+
+    // Flip one byte in the object payload on disk.
+    std::string obj = dir + "/objects/" + hash;
+    {
+        std::fstream f(obj,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(-3, std::ios::end);
+        f.put('X');
+    }
+
+    // The lookup detects the damage, evicts, and reports a miss...
+    EXPECT_FALSE(store.lookup("cluster", "k"));
+    EXPECT_EQ(store.stats().corruptEntries, 1u);
+    EXPECT_FALSE(store.hashFor("cluster", "k"));
+    struct stat st;
+    EXPECT_NE(stat(obj.c_str(), &st), 0) << "object not unlinked";
+
+    // ...and the caller's recompute-republish makes it whole again.
+    store.publish("cluster", "k", "precious-data");
+    auto hit = store.lookup("cluster", "k");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->payload, "precious-data");
+    EXPECT_EQ(store.verify(), 0u);
+}
+
+TEST(ArtifactStore, CorruptionEvictsEveryBindingOfTheHash)
+{
+    std::string dir = freshStoreDir("corrupt_shared");
+    ArtifactStore store(dir);
+    std::string hash = store.publish("record", "kA", "shared");
+    store.publish("record", "kB", "shared"); // same object
+    {
+        std::fstream f(dir + "/objects/" + hash,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(-1, std::ios::end);
+        f.put('?');
+    }
+    EXPECT_FALSE(store.lookup("record", "kA"));
+    // The object is gone, so the sibling binding must be gone too —
+    // a dangling manifest entry would turn into an I/O error later.
+    EXPECT_TRUE(store.entries().empty());
+}
+
+TEST(ArtifactStore, GcEvictsLeastRecentlyUsedFirst)
+{
+    std::string dir = freshStoreDir("gc");
+    ArtifactStore store(dir);
+    std::string h_old = store.publish("record", "old", "old-payload");
+    std::string h_new = store.publish("record", "new", "new-payload!");
+
+    // Backdate the old object; lookups refresh mtime, so touch "new"
+    // through the API like a real reuse would.
+    struct utimbuf ancient{1000000, 1000000};
+    ASSERT_EQ(utime((dir + "/objects/" + h_old).c_str(), &ancient), 0);
+    ASSERT_TRUE(store.lookup("record", "new"));
+
+    auto dry = store.gc(1, /*dry_run=*/true);
+    EXPECT_EQ(dry.removedObjects, 2u);
+    EXPECT_EQ(store.entries().size(), 2u) << "dry run must not evict";
+
+    // Budget for one object: the stale one goes, the fresh one stays.
+    struct stat st;
+    ASSERT_EQ(stat((dir + "/objects/" + h_new).c_str(), &st), 0);
+    auto r = store.gc(static_cast<uint64_t>(st.st_size));
+    EXPECT_EQ(r.removedObjects, 1u);
+    EXPECT_EQ(r.keptObjects, 1u);
+    EXPECT_EQ(r.droppedEntries, 1u);
+    EXPECT_FALSE(store.lookup("record", "old"));
+    EXPECT_TRUE(store.lookup("record", "new"));
+}
+
+TEST(ArtifactStore, GcCollectsOrphanObjectsAndTmpFiles)
+{
+    std::string dir = freshStoreDir("gc_orphan");
+    ArtifactStore store(dir);
+    store.publish("record", "live", "live-payload");
+    // An orphan object (no manifest binding) and a torn tmp file, as a
+    // crash mid-publish would leave behind.
+    std::ofstream(dir + "/objects/" + std::string(40, '0'))
+        << "orphan-bytes";
+    std::ofstream(dir + "/objects/deadbeef.tmp.1234") << "torn";
+
+    auto r = store.gc(UINT64_MAX);
+    EXPECT_EQ(r.removedObjects, 1u); // the orphan
+    EXPECT_EQ(r.keptObjects, 1u);
+    EXPECT_TRUE(store.lookup("record", "live"));
+    struct stat st;
+    EXPECT_NE(stat((dir + "/objects/deadbeef.tmp.1234").c_str(), &st),
+              0);
+}
+
+// ----------------------------------------------- key partition tables
+
+LoopPointOptions
+baseOpts()
+{
+    LoopPointOptions o;
+    o.numThreads = 4;
+    o.sliceSizePerThread = 25'000;
+    return o;
+}
+
+/**
+ * The uarch partition: every result-affecting SimConfig field must
+ * change uarchKeyText(); every host-side knob must not. This is the
+ * table that pins the fix for the historical journal-fingerprint gap
+ * (describe() missed prefetchDegree and the op latencies).
+ */
+TEST(StageKeys, UarchPartitionCoversEveryResultAffectingField)
+{
+    const std::string base = SimConfig().uarchKeyText();
+
+    const std::vector<std::pair<const char *,
+                                void (*)(SimConfig &)>> uarch_fields = {
+        {"coreType",
+         [](SimConfig &c) { c.coreType = CoreType::InOrder; }},
+        {"freqGHz", [](SimConfig &c) { c.freqGHz = 3.0; }},
+        {"robSize", [](SimConfig &c) { c.robSize = 64; }},
+        {"dispatchWidth", [](SimConfig &c) { c.dispatchWidth = 2; }},
+        {"branchMispredictPenalty",
+         [](SimConfig &c) { c.branchMispredictPenalty = 20; }},
+        {"prefetchDegree", [](SimConfig &c) { c.prefetchDegree = 2; }},
+        {"l1i.sizeBytes",
+         [](SimConfig &c) { c.l1i.sizeBytes *= 2; }},
+        {"l1d.assoc", [](SimConfig &c) { c.l1d.assoc = 4; }},
+        {"l2.sizeBytes", [](SimConfig &c) { c.l2.sizeBytes *= 4; }},
+        {"l2.latency", [](SimConfig &c) { c.l2.latency = 12; }},
+        {"l3.lineBytes", [](SimConfig &c) { c.l3.lineBytes = 128; }},
+        {"memLatency", [](SimConfig &c) { c.memLatency = 300; }},
+        {"latIntAlu", [](SimConfig &c) { c.latIntAlu = 2; }},
+        {"latIntMul", [](SimConfig &c) { c.latIntMul = 4; }},
+        {"latIntDiv", [](SimConfig &c) { c.latIntDiv = 40; }},
+        {"latFpAdd", [](SimConfig &c) { c.latFpAdd = 4; }},
+        {"latFpMul", [](SimConfig &c) { c.latFpMul = 6; }},
+        {"latFpDiv", [](SimConfig &c) { c.latFpDiv = 30; }},
+        {"latBranch", [](SimConfig &c) { c.latBranch = 2; }},
+        {"latAtomicExtra",
+         [](SimConfig &c) { c.latAtomicExtra = 20; }},
+    };
+    for (const auto &[name, mutate] : uarch_fields) {
+        SimConfig c;
+        mutate(c);
+        EXPECT_NE(c.uarchKeyText(), base)
+            << name << " must re-key the simulation stages";
+    }
+
+    const std::vector<std::pair<const char *,
+                                void (*)(SimConfig &)>> host_knobs = {
+        {"jobs", [](SimConfig &c) { c.jobs = 16; }},
+        {"backend",
+         [](SimConfig &c) { c.backend = ExecBackendKind::Procs; }},
+        {"workerTimeoutSeconds",
+         [](SimConfig &c) { c.workerTimeoutSeconds = 5.0; }},
+        {"referenceScheduler",
+         [](SimConfig &c) { c.referenceScheduler = true; }},
+        {"obs.trace", [](SimConfig &c) { c.obs.trace = true; }},
+        {"obs.metrics", [](SimConfig &c) { c.obs.metrics = true; }},
+        {"analysis.lint",
+         [](SimConfig &c) { c.analysis.lint = true; }},
+        {"analysis.raceCheck",
+         [](SimConfig &c) { c.analysis.raceCheck = true; }},
+        {"regionRetries", [](SimConfig &c) { c.regionRetries = 3; }},
+        {"watchdogFactor", [](SimConfig &c) { c.watchdogFactor = 8; }},
+        {"faults",
+         [](SimConfig &c) {
+             c.faults = FaultPlan::parse("sim:region=0,kind=throw");
+         }},
+    };
+    for (const auto &[name, mutate] : host_knobs) {
+        SimConfig c;
+        mutate(c);
+        EXPECT_EQ(c.uarchKeyText(), base)
+            << name << " is host-side and must never invalidate "
+                       "cached results";
+    }
+}
+
+/**
+ * Stage-level invalidation: which knob re-keys which stage. The
+ * chained-hash design makes downstream invalidation transitive, so
+ * this table only needs to pin the *direct* inputs of each key.
+ */
+TEST(StageKeys, InvalidationTable)
+{
+    LoopPointOptions o = baseOpts();
+    SimConfig sim;
+    const std::string rec = StageCache::recordKey("app.test", o);
+    const std::string prof = StageCache::profileKey("HASH_R", o);
+    const std::string clus = StageCache::clusterKey("HASH_P", o);
+    const std::string simk = StageCache::simKey("HASH_C", sim, false);
+
+    // Input/app change: the workload name is in the record key, and
+    // everything downstream chains on the record hash.
+    EXPECT_NE(StageCache::recordKey("app.train", o), rec);
+    EXPECT_NE(StageCache::recordKey("other.test", o), rec);
+
+    // A uarch change re-keys ONLY the simulation stages.
+    SimConfig big_l2;
+    applyUarchPreset(big_l2, "big-l2");
+    EXPECT_NE(StageCache::simKey("HASH_C", big_l2, false), simk);
+    EXPECT_NE(StageCache::fullSimKey("app.test", 4,
+                                     WaitPolicy::Passive, 42, big_l2),
+              StageCache::fullSimKey("app.test", 4,
+                                     WaitPolicy::Passive, 42, sim));
+    // (recordKey/profileKey/clusterKey take no SimConfig at all: the
+    // type system already guarantees uarch cannot reach them.)
+
+    // Constrained mode changes replay semantics: sim key only.
+    EXPECT_NE(StageCache::simKey("HASH_C", sim, true), simk);
+
+    // Thread count / wait policy / seed / quantum: recording inputs.
+    {
+        LoopPointOptions m = o;
+        m.numThreads = 8;
+        EXPECT_NE(StageCache::recordKey("app.test", m), rec);
+        m = o;
+        m.waitPolicy = WaitPolicy::Active;
+        EXPECT_NE(StageCache::recordKey("app.test", m), rec);
+        m = o;
+        m.seed = 7;
+        EXPECT_NE(StageCache::recordKey("app.test", m), rec);
+        m = o;
+        m.flowQuantum = 500;
+        EXPECT_NE(StageCache::recordKey("app.test", m), rec);
+    }
+
+    // Slice size / spin filter: profile inputs, not recording inputs.
+    {
+        LoopPointOptions m = o;
+        m.sliceSizePerThread = 50'000;
+        EXPECT_EQ(StageCache::recordKey("app.test", m), rec);
+        EXPECT_NE(StageCache::profileKey("HASH_R", m), prof);
+        m = o;
+        m.filterSpin = false;
+        EXPECT_EQ(StageCache::recordKey("app.test", m), rec);
+        EXPECT_NE(StageCache::profileKey("HASH_R", m), prof);
+    }
+
+    // Clustering knobs: cluster inputs only.
+    {
+        LoopPointOptions m = o;
+        m.maxK = 10;
+        EXPECT_EQ(StageCache::recordKey("app.test", m), rec);
+        EXPECT_EQ(StageCache::profileKey("HASH_R", m), prof);
+        EXPECT_NE(StageCache::clusterKey("HASH_P", m), clus);
+        m = o;
+        m.projectionDims = 32;
+        EXPECT_NE(StageCache::clusterKey("HASH_P", m), clus);
+        m = o;
+        m.bicThreshold = 0.5;
+        EXPECT_NE(StageCache::clusterKey("HASH_P", m), clus);
+    }
+
+    // Host-side knobs: NO key anywhere.
+    {
+        LoopPointOptions m = o;
+        m.jobs = 32;
+        m.analysis.lint = true;
+        m.analysis.raceCheck = true;
+        EXPECT_EQ(StageCache::recordKey("app.test", m), rec);
+        EXPECT_EQ(StageCache::profileKey("HASH_R", m), prof);
+        EXPECT_EQ(StageCache::clusterKey("HASH_P", m), clus);
+        SimConfig host = sim;
+        host.jobs = 32;
+        host.backend = ExecBackendKind::Procs;
+        host.obs.trace = true;
+        host.regionRetries = 5;
+        EXPECT_EQ(StageCache::simKey("HASH_C", host, false), simk);
+    }
+
+    // Upstream hash chaining: a new upstream artifact re-keys the
+    // stage even with identical knobs.
+    EXPECT_NE(StageCache::profileKey("HASH_R2", o), prof);
+    EXPECT_NE(StageCache::clusterKey("HASH_P2", o), clus);
+    EXPECT_NE(StageCache::simKey("HASH_C2", sim, false), simk);
+}
+
+TEST(StageKeys, JournalKeyUsesUarchPartition)
+{
+    SimConfig a, b;
+    b.prefetchDegree = 2; // describe() historically missed this
+    RunKey ka = makeRunKey("app", "test", 4, WaitPolicy::Passive, 42,
+                           false, a);
+    RunKey kb = makeRunKey("app", "test", 4, WaitPolicy::Passive, 42,
+                           false, b);
+    EXPECT_NE(ka.simFingerprint, kb.simFingerprint);
+
+    SimConfig host = a;
+    host.jobs = 8;
+    host.backend = ExecBackendKind::Procs;
+    host.obs.metrics = true;
+    RunKey kh = makeRunKey("app", "test", 4, WaitPolicy::Passive, 42,
+                           false, host);
+    EXPECT_EQ(ka, kh);
+}
+
+// ------------------------------------------- end-to-end memoization
+
+ExperimentConfig
+storeExpConfig(const std::string &store_dir)
+{
+    ExperimentConfig cfg;
+    cfg.app = "619.lbm_s.1";
+    cfg.input = InputClass::Test;
+    cfg.requestedThreads = 4;
+    cfg.loopPoint.sliceSizePerThread = 25'000;
+    cfg.storeDir = store_dir;
+    return cfg;
+}
+
+/** The fields a warm rerun must reproduce bit for bit. */
+void
+expectIdenticalResults(const ExperimentResult &a,
+                       const ExperimentResult &b)
+{
+    EXPECT_EQ(a.analysis.chosenK, b.analysis.chosenK);
+    EXPECT_EQ(a.analysis.assignment, b.analysis.assignment);
+    ASSERT_EQ(a.analysis.regions.size(), b.analysis.regions.size());
+    for (size_t i = 0; i < a.analysis.regions.size(); ++i) {
+        EXPECT_EQ(a.analysis.regions[i].start,
+                  b.analysis.regions[i].start);
+        EXPECT_EQ(a.analysis.regions[i].end,
+                  b.analysis.regions[i].end);
+        EXPECT_EQ(a.analysis.regions[i].multiplier,
+                  b.analysis.regions[i].multiplier);
+    }
+    EXPECT_EQ(a.regionMetrics, b.regionMetrics);
+    EXPECT_EQ(a.predicted.runtimeSeconds, b.predicted.runtimeSeconds);
+    EXPECT_EQ(a.predicted.cycles, b.predicted.cycles);
+    EXPECT_EQ(a.fullSim, b.fullSim);
+    EXPECT_EQ(a.runtimeErrorPct, b.runtimeErrorPct);
+}
+
+TEST(StorePipeline, WarmRerunServedEntirelyFromStoreBitIdentical)
+{
+    std::string dir = freshStoreDir("pipeline_warm");
+    ExperimentResult cold = runExperiment(storeExpConfig(dir));
+    EXPECT_FALSE(cold.analysis.stageHashes.recordHit);
+    EXPECT_FALSE(cold.simStageHit);
+    EXPECT_FALSE(cold.fullSimHit);
+    EXPECT_EQ(cold.storeStats.hits, 0u);
+    EXPECT_GT(cold.storeStats.publishes, 0u);
+    // Provenance hashes are set on the publish path too.
+    EXPECT_EQ(cold.analysis.stageHashes.record.size(), 40u);
+    EXPECT_EQ(cold.analysis.stageHashes.profile.size(), 40u);
+    EXPECT_EQ(cold.analysis.stageHashes.cluster.size(), 40u);
+
+    ExperimentResult warm = runExperiment(storeExpConfig(dir));
+    EXPECT_TRUE(warm.analysis.stageHashes.recordHit);
+    EXPECT_TRUE(warm.analysis.stageHashes.profileHit);
+    EXPECT_TRUE(warm.analysis.stageHashes.clusterHit);
+    EXPECT_TRUE(warm.simStageHit);
+    EXPECT_TRUE(warm.fullSimHit);
+    EXPECT_EQ(warm.storeStats.misses, 0u) << "warm rerun recomputed "
+                                             "something";
+    EXPECT_EQ(warm.storeStats.publishes, 0u);
+    EXPECT_EQ(warm.analysis.stageHashes.record,
+              cold.analysis.stageHashes.record);
+    EXPECT_EQ(warm.analysis.stageHashes.profile,
+              cold.analysis.stageHashes.profile);
+    EXPECT_EQ(warm.analysis.stageHashes.cluster,
+              cold.analysis.stageHashes.cluster);
+    expectIdenticalResults(cold, warm);
+}
+
+TEST(StorePipeline, UarchChangeReusesAnalysisOnly)
+{
+    std::string dir = freshStoreDir("pipeline_uarch");
+    ExperimentResult base = runExperiment(storeExpConfig(dir));
+
+    ExperimentConfig cfg = storeExpConfig(dir);
+    applyUarchPreset(cfg.sim, "slow-mem");
+    ExperimentResult swept = runExperiment(cfg);
+    // Analysis is shared across the sweep...
+    EXPECT_TRUE(swept.analysis.stageHashes.recordHit);
+    EXPECT_TRUE(swept.analysis.stageHashes.profileHit);
+    EXPECT_TRUE(swept.analysis.stageHashes.clusterHit);
+    EXPECT_EQ(swept.analysis.stageHashes.cluster,
+              base.analysis.stageHashes.cluster);
+    // ...but the detailed simulations are not.
+    EXPECT_FALSE(swept.simStageHit);
+    EXPECT_FALSE(swept.fullSimHit);
+    EXPECT_NE(swept.fullSim.cycles, base.fullSim.cycles);
+}
+
+TEST(StorePipeline, CorruptProfileArtifactRecomputedBitIdentical)
+{
+    std::string dir = freshStoreDir("pipeline_corrupt");
+    ExperimentResult cold = runExperiment(storeExpConfig(dir));
+
+    // Vandalize the profile artifact on disk.
+    std::string obj =
+        dir + "/objects/" + cold.analysis.stageHashes.profile;
+    {
+        std::fstream f(obj,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good()) << obj;
+        f.seekp(-5, std::ios::end);
+        f.put('!');
+    }
+
+    ExperimentResult warm = runExperiment(storeExpConfig(dir));
+    // The damaged stage recomputed (from the cached recording) and the
+    // recompute republished the identical content...
+    EXPECT_TRUE(warm.analysis.stageHashes.recordHit);
+    EXPECT_FALSE(warm.analysis.stageHashes.profileHit);
+    EXPECT_EQ(warm.storeStats.corruptEntries, 1u);
+    EXPECT_EQ(warm.analysis.stageHashes.profile,
+              cold.analysis.stageHashes.profile);
+    // ...so the downstream stages still hit, and results match the
+    // cold run exactly.
+    EXPECT_TRUE(warm.analysis.stageHashes.clusterHit);
+    EXPECT_TRUE(warm.simStageHit);
+    expectIdenticalResults(cold, warm);
+
+    // And the store healed: a third run is all hits again.
+    ExperimentResult healed = runExperiment(storeExpConfig(dir));
+    EXPECT_TRUE(healed.analysis.stageHashes.profileHit);
+    EXPECT_EQ(healed.storeStats.misses, 0u);
+}
+
+TEST(StorePipeline, HostKnobsShareStoreEntries)
+{
+    // A run with different host-side knobs (jobs) must be served from
+    // the store populated by the serial run — same stage keys.
+    std::string dir = freshStoreDir("pipeline_host");
+    runExperiment(storeExpConfig(dir));
+    ExperimentConfig cfg = storeExpConfig(dir);
+    cfg.jobs = 3;
+    ExperimentResult warm = runExperiment(cfg);
+    EXPECT_TRUE(warm.simStageHit);
+    EXPECT_EQ(warm.storeStats.misses, 0u);
+}
+
+} // namespace
+} // namespace looppoint

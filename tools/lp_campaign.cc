@@ -1,0 +1,442 @@
+/**
+ * @file
+ * lp_campaign: incremental sweep driver over the artifact store.
+ *
+ * Expands a matrix spec (apps x inputs x threads x uarch presets)
+ * into one job per combination and runs each end to end through
+ * runExperiment with a shared content-addressed store, so everything
+ * the sweep points have in common — recording, profiling, clustering
+ * of the same (app, input, threads) triple — is computed once and
+ * served from the store for every other uarch point. Re-invoking the
+ * same campaign is incremental twice over:
+ *
+ *   job level   a job with a published result (`.done`) is skipped
+ *               outright; a job another process holds the `.lock` of
+ *               is skipped as running (crashed holders are harmless:
+ *               flock dies with its process)
+ *   stage level a job that does run skips every pipeline stage whose
+ *               store key hits, including the detailed region
+ *               simulations themselves
+ *
+ * Layout under --out=DIR:
+ *
+ *   campaign.json             summary (written last, atomically)
+ *   store/                    the shared store (override: --store)
+ *   <job>/result.json         one "lp_campaign_job" document per job
+ *   <job>/.done               completion marker (skip-done)
+ *   <job>/.lock               flock target (skip-running)
+ *
+ * Aggregate with `lp_report --campaign=DIR`. Exit codes follow
+ * run_looppoint: 0 all jobs ok, 1 some job degraded, 2 usage,
+ * 3 runtime failure.
+ */
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+using namespace looppoint;
+
+namespace {
+
+struct CampaignOptions
+{
+    std::vector<std::string> apps{"demo-matrix-1"};
+    std::vector<std::string> inputs{"test"};
+    std::vector<uint32_t> threads{4};
+    std::vector<std::string> uarchs{"baseline"};
+    std::string outDir;
+    std::string storeDir; ///< default: <outDir>/store
+    uint32_t jobs = 1;
+    std::string backend = "pool";
+    std::string waitPolicy = "passive";
+    uint64_t seed = 42;
+    bool fullSim = true;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: lp_campaign --out=DIR [options]\n"
+        "  --apps=LIST        artifact-style programs\n"
+        "                     (default: demo-matrix-1)\n"
+        "  --inputs=LIST      input classes (default: test)\n"
+        "  --threads=LIST     thread counts (default: 4)\n"
+        "  --uarch=LIST       uarch presets: %s\n"
+        "                     (default: baseline)\n"
+        "  --out=DIR          campaign directory (required)\n"
+        "  --store=DIR        artifact store (default: <out>/store)\n"
+        "  --jobs=N           host workers per job (default: 1)\n"
+        "  --backend=B        pool | procs (default: pool)\n"
+        "  --wait-policy=P    passive | active (default: passive)\n"
+        "  --seed=N           analysis seed (default: 42)\n"
+        "  --no-fullsim       skip per-job ground-truth simulation\n"
+        "  -h, --help         this message\n"
+        "\nJobs are grouped by (app, input, threads) so consecutive\n"
+        "uarch points reuse the analysis stages from the store; jobs\n"
+        "already done (or running elsewhere) are skipped.\n",
+        uarchPresetNames().c_str());
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseArg(int argc, char **argv, int &i, const char *long_name,
+         std::string *value)
+{
+    std::string arg = argv[i];
+    std::string long_eq = std::string(long_name) + "=";
+    if (arg == long_name) {
+        if (i + 1 >= argc)
+            fatal("option %s requires a value", arg.c_str());
+        *value = argv[++i];
+        return true;
+    }
+    if (arg.rfind(long_eq, 0) == 0) {
+        *value = arg.substr(long_eq.size());
+        return true;
+    }
+    return false;
+}
+
+CampaignOptions
+parseCli(int argc, char **argv)
+{
+    CampaignOptions opts;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            usage();
+            std::exit(0);
+        } else if (parseArg(argc, argv, i, "--apps", &value)) {
+            opts.apps = splitCommas(value);
+        } else if (parseArg(argc, argv, i, "--inputs", &value)) {
+            opts.inputs = splitCommas(value);
+        } else if (parseArg(argc, argv, i, "--threads", &value)) {
+            opts.threads.clear();
+            for (const auto &t : splitCommas(value))
+                opts.threads.push_back(
+                    static_cast<uint32_t>(std::stoul(t)));
+        } else if (parseArg(argc, argv, i, "--uarch", &value)) {
+            opts.uarchs = splitCommas(value);
+        } else if (parseArg(argc, argv, i, "--out", &value)) {
+            opts.outDir = value;
+        } else if (parseArg(argc, argv, i, "--store", &value)) {
+            opts.storeDir = value;
+        } else if (parseArg(argc, argv, i, "--jobs", &value)) {
+            opts.jobs = static_cast<uint32_t>(std::stoul(value));
+        } else if (parseArg(argc, argv, i, "--backend", &value)) {
+            opts.backend = value;
+        } else if (parseArg(argc, argv, i, "--wait-policy", &value)) {
+            opts.waitPolicy = value;
+        } else if (parseArg(argc, argv, i, "--seed", &value)) {
+            opts.seed = std::stoull(value);
+        } else if (arg == "--no-fullsim") {
+            opts.fullSim = false;
+        } else {
+            logError("unknown option '%s'", arg.c_str());
+            usage();
+            std::exit(2);
+        }
+    }
+    if (opts.outDir.empty())
+        fatal("--out=DIR is required");
+    if (opts.storeDir.empty())
+        opts.storeDir = opts.outDir + "/store";
+    if (opts.backend != "pool" && opts.backend != "procs")
+        fatal("backend must be 'pool' or 'procs'");
+    if (opts.waitPolicy != "passive" && opts.waitPolicy != "active")
+        fatal("wait policy must be 'passive' or 'active'");
+    // Validate every matrix axis up front: a bad name anywhere is a
+    // usage error before any job runs.
+    for (const auto &p : opts.apps)
+        resolveArtifactProgram(p);
+    for (const auto &ic : opts.inputs)
+        resolveInputClass(ic);
+    for (const auto &u : opts.uarchs) {
+        SimConfig scratch;
+        applyUarchPreset(scratch, u);
+    }
+    return opts;
+}
+
+void
+makeDir(const std::string &path)
+{
+    if (mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
+        fatal("cannot create directory '%s': %s", path.c_str(),
+              strerror(errno));
+}
+
+/** One expanded sweep point. */
+struct Job
+{
+    std::string id;      ///< <prog>-<input>-t<T>-<uarch>
+    std::string program; ///< artifact-style name
+    std::string input;
+    uint32_t threads = 0;
+    std::string uarch;
+    /** done | running | ok | degraded (set as the campaign runs). */
+    std::string status;
+    double wallSeconds = 0.0;
+};
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+writeResultJson(const std::string &path, const Job &job,
+                const ExperimentResult &r, const CampaignOptions &opts)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"kind\": \"lp_campaign_job\",\n"
+       << "  \"job\": " << jsonQuote(job.id) << ",\n"
+       << "  \"program\": " << jsonQuote(job.program) << ",\n"
+       << "  \"app\": " << jsonQuote(r.app) << ",\n"
+       << "  \"input\": " << jsonQuote(job.input) << ",\n"
+       << "  \"threads\": " << r.threads << ",\n"
+       << "  \"uarch\": " << jsonQuote(job.uarch) << ",\n"
+       << "  \"backend\": " << jsonQuote(opts.backend) << ",\n"
+       << "  \"chosenK\": " << r.analysis.chosenK << ",\n"
+       << "  \"regions\": " << r.analysis.regions.size() << ",\n"
+       << "  \"coverage\": " << fmtDouble(r.coverage) << ",\n"
+       << "  \"predictedRuntime\": "
+       << fmtDouble(r.predicted.runtimeSeconds) << ",\n"
+       << "  \"fullsimRuntime\": "
+       << fmtDouble(r.haveFullSim ? r.fullSim.runtimeSeconds : 0.0)
+       << ",\n"
+       << "  \"runtimeErrorPct\": " << fmtDouble(r.runtimeErrorPct)
+       << ",\n"
+       << "  \"stageHits\": {\"record\": "
+       << (r.analysis.stageHashes.recordHit ? "true" : "false")
+       << ", \"profile\": "
+       << (r.analysis.stageHashes.profileHit ? "true" : "false")
+       << ", \"cluster\": "
+       << (r.analysis.stageHashes.clusterHit ? "true" : "false")
+       << ", \"sim\": " << (r.simStageHit ? "true" : "false")
+       << ", \"fullsim\": " << (r.fullSimHit ? "true" : "false")
+       << "},\n"
+       << "  \"store\": {\"hits\": " << r.storeStats.hits
+       << ", \"misses\": " << r.storeStats.misses
+       << ", \"publishes\": " << r.storeStats.publishes
+       << ", \"corrupt\": " << r.storeStats.corruptEntries
+       << ", \"bytesStored\": " << r.storeStats.bytesStored
+       << ", \"bytesDeduped\": " << r.storeStats.bytesDeduped
+       << ", \"bytesRead\": " << r.storeStats.bytesRead << "},\n"
+       << "  \"wallSeconds\": " << fmtDouble(job.wallSeconds) << "\n"
+       << "}\n";
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp);
+        if (!f)
+            fatal("cannot write '%s'", tmp.c_str());
+        f << os.str();
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot publish '%s': %s", path.c_str(),
+              strerror(errno));
+}
+
+int
+runJob(Job &job, const std::string &job_dir,
+       const CampaignOptions &opts)
+{
+    ExperimentConfig cfg;
+    cfg.app = resolveArtifactProgram(job.program);
+    cfg.input = resolveInputClass(job.input);
+    cfg.requestedThreads = job.threads;
+    cfg.waitPolicy = opts.waitPolicy == "active" ? WaitPolicy::Active
+                                                 : WaitPolicy::Passive;
+    cfg.jobs = opts.jobs;
+    cfg.simulateFull = opts.fullSim;
+    cfg.loopPoint.seed = opts.seed;
+    applyUarchPreset(cfg.sim, job.uarch);
+    cfg.sim.backend = opts.backend == "procs" ? ExecBackendKind::Procs
+                                              : ExecBackendKind::Pool;
+    cfg.storeDir = opts.storeDir;
+    if (cfg.input == InputClass::Test)
+        cfg.loopPoint.sliceSizePerThread = 25'000;
+
+    auto t0 = std::chrono::steady_clock::now();
+    ExperimentResult r = runExperiment(cfg);
+    job.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    job.status = r.coverage < 1.0 ? "degraded" : "ok";
+
+    writeResultJson(job_dir + "/result.json", job, r, opts);
+    std::ofstream done(job_dir + "/.done");
+    done << job.status << "\n";
+    return r.coverage < 1.0 ? 1 : 0;
+}
+
+void
+writeCampaignJson(const std::string &path, const CampaignOptions &opts,
+                  const std::vector<Job> &jobs)
+{
+    size_t ran = 0, done = 0, running = 0, degraded = 0;
+    for (const auto &j : jobs) {
+        if (j.status == "ok")
+            ++ran;
+        else if (j.status == "done")
+            ++done;
+        else if (j.status == "running")
+            ++running;
+        else if (j.status == "degraded")
+            ++degraded;
+    }
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"kind\": \"lp_campaign\",\n"
+       << "  \"store\": " << jsonQuote(opts.storeDir) << ",\n"
+       << "  \"backend\": " << jsonQuote(opts.backend) << ",\n"
+       << "  \"jobsTotal\": " << jobs.size() << ",\n"
+       << "  \"jobsRan\": " << ran << ",\n"
+       << "  \"jobsSkippedDone\": " << done << ",\n"
+       << "  \"jobsSkippedRunning\": " << running << ",\n"
+       << "  \"jobsDegraded\": " << degraded << ",\n"
+       << "  \"jobs\": [\n";
+    for (size_t i = 0; i < jobs.size(); ++i)
+        os << "    {\"job\": " << jsonQuote(jobs[i].id)
+           << ", \"status\": " << jsonQuote(jobs[i].status)
+           << ", \"wallSeconds\": " << fmtDouble(jobs[i].wallSeconds)
+           << "}" << (i + 1 < jobs.size() ? "," : "") << "\n";
+    os << "  ]\n}\n";
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp);
+        if (!f)
+            fatal("cannot write '%s'", tmp.c_str());
+        f << os.str();
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot publish '%s': %s", path.c_str(),
+              strerror(errno));
+}
+
+int
+runCampaign(const CampaignOptions &opts)
+{
+    makeDir(opts.outDir);
+
+    // Expansion order is the incremental-reuse order: all uarch points
+    // of one (app, input, threads) triple are adjacent, so after the
+    // first the analysis stages are store hits.
+    std::vector<Job> jobs;
+    for (const auto &prog : opts.apps)
+        for (const auto &input : opts.inputs)
+            for (uint32_t threads : opts.threads)
+                for (const auto &uarch : opts.uarchs) {
+                    Job j;
+                    j.program = prog;
+                    j.input = input;
+                    j.threads = threads;
+                    j.uarch = uarch;
+                    j.id = prog + "-" + input + "-t" +
+                           std::to_string(threads) + "-" + uarch;
+                    jobs.push_back(std::move(j));
+                }
+
+    int rc = 0;
+    for (auto &job : jobs) {
+        const std::string job_dir = opts.outDir + "/" + job.id;
+        makeDir(job_dir);
+
+        struct stat st;
+        if (stat((job_dir + "/.done").c_str(), &st) == 0) {
+            job.status = "done";
+            std::printf("[skip] %-44s already done\n", job.id.c_str());
+            continue;
+        }
+
+        // Skip-running: the lock dies with its holder, so a crashed
+        // job never wedges the campaign — the next invocation reruns
+        // it (and the store makes the rerun cheap).
+        int lock_fd = open((job_dir + "/.lock").c_str(),
+                           O_CREAT | O_RDWR | O_CLOEXEC, 0666);
+        if (lock_fd < 0)
+            fatal("cannot open '%s/.lock': %s", job_dir.c_str(),
+                  strerror(errno));
+        if (flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+            close(lock_fd);
+            job.status = "running";
+            std::printf("[skip] %-44s running elsewhere\n",
+                        job.id.c_str());
+            continue;
+        }
+
+        std::printf("[run ] %s\n", job.id.c_str());
+        std::fflush(stdout);
+        rc = std::max(rc, runJob(job, job_dir, opts));
+        std::printf("[%s] %-44s %.3f s\n",
+                    job.status == "ok" ? " ok " : "DEGR",
+                    job.id.c_str(), job.wallSeconds);
+
+        flock(lock_fd, LOCK_UN);
+        close(lock_fd);
+    }
+
+    writeCampaignJson(opts.outDir + "/campaign.json", opts, jobs);
+    std::printf("campaign: %zu job(s), summary %s/campaign.json, "
+                "store %s\n",
+                jobs.size(), opts.outDir.c_str(),
+                opts.storeDir.c_str());
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CampaignOptions opts;
+    try {
+        opts = parseCli(argc, argv);
+    } catch (const std::exception &e) {
+        logError("lp_campaign: %s", e.what());
+        return 2;
+    }
+    try {
+        return runCampaign(opts);
+    } catch (const FatalError &e) {
+        logError("lp_campaign: %s", e.what());
+        return 3;
+    }
+}

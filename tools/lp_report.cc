@@ -25,6 +25,8 @@
  * twice).
  */
 
+#include <dirent.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdarg>
@@ -46,6 +48,7 @@ struct Options
 {
     std::string tracePath;
     std::string metricsPath;
+    std::string campaignDir;
     bool check = false;
 };
 
@@ -54,9 +57,13 @@ usage()
 {
     std::printf(
         "usage: lp_report --trace=PATH [--metrics=PATH] [--check]\n"
+        "       lp_report --campaign=DIR\n"
         "  --trace=PATH    Chrome trace JSON from run_looppoint "
         "--trace\n"
         "  --metrics=PATH  metrics JSON from run_looppoint --metrics\n"
+        "  --campaign=DIR  aggregate the per-job result.json files of\n"
+        "                  an lp_campaign directory: per-job table\n"
+        "                  plus store hit-rate and deduplication\n"
         "  --check         validate the inputs instead of summarizing\n"
         "                  only (exit 1 on any violation)\n"
         "  -h, --help      this message\n");
@@ -494,6 +501,127 @@ reportMetrics(const Options &opt)
     return log.violations ? 1 : 0;
 }
 
+/**
+ * Aggregate an lp_campaign directory: one row per job result, then
+ * campaign-wide store economics (hit rate, bytes deduplicated — the
+ * "never recompute twice" dividend).
+ */
+int
+reportCampaign(const Options &opt)
+{
+    DIR *dir = opendir(opt.campaignDir.c_str());
+    if (!dir) {
+        logError("cannot open campaign directory '%s'",
+                 opt.campaignDir.c_str());
+        return 2;
+    }
+    std::vector<std::string> job_dirs;
+    while (struct dirent *de = readdir(dir)) {
+        if (de->d_name[0] == '.')
+            continue;
+        job_dirs.push_back(de->d_name);
+    }
+    closedir(dir);
+    std::sort(job_dirs.begin(), job_dirs.end());
+
+    struct Row
+    {
+        std::string job, uarch, input;
+        double threads = 0, chosenK = 0, regions = 0, coverage = 0;
+        double errPct = 0, wall = 0;
+        bool simHit = false, fullsimHit = false, analysisHit = false;
+        double hits = 0, misses = 0, bytesDeduped = 0, bytesRead = 0;
+        double bytesStored = 0;
+    };
+    std::vector<Row> rows;
+    size_t bad = 0;
+    for (const auto &jd : job_dirs) {
+        const std::string path =
+            opt.campaignDir + "/" + jd + "/result.json";
+        std::string text;
+        if (!loadFile(path, text))
+            continue; // not a job directory (e.g. the store)
+        std::string err;
+        auto doc = parseJson(text, &err);
+        if (!doc || doc->stringOr("kind", "") != "lp_campaign_job") {
+            logError("skipping '%s': %s", path.c_str(),
+                     doc ? "not an lp_campaign_job document"
+                         : err.c_str());
+            ++bad;
+            continue;
+        }
+        Row r;
+        r.job = doc->stringOr("job", jd);
+        r.uarch = doc->stringOr("uarch", "?");
+        r.input = doc->stringOr("input", "?");
+        r.threads = doc->numberOr("threads", 0);
+        r.chosenK = doc->numberOr("chosenK", 0);
+        r.regions = doc->numberOr("regions", 0);
+        r.coverage = doc->numberOr("coverage", 0);
+        r.errPct = doc->numberOr("runtimeErrorPct", 0);
+        r.wall = doc->numberOr("wallSeconds", 0);
+        if (const JsonValue *sh = doc->find("stageHits")) {
+            auto flag = [&](const char *k) {
+                const JsonValue *v = sh->find(k);
+                return v && v->isBool() && v->boolean;
+            };
+            r.analysisHit = flag("record") && flag("profile") &&
+                            flag("cluster");
+            r.simHit = flag("sim");
+            r.fullsimHit = flag("fullsim");
+        }
+        if (const JsonValue *st = doc->find("store")) {
+            r.hits = st->numberOr("hits", 0);
+            r.misses = st->numberOr("misses", 0);
+            r.bytesStored = st->numberOr("bytesStored", 0);
+            r.bytesDeduped = st->numberOr("bytesDeduped", 0);
+            r.bytesRead = st->numberOr("bytesRead", 0);
+        }
+        rows.push_back(std::move(r));
+    }
+
+    if (rows.empty()) {
+        logError("no lp_campaign_job results under '%s'",
+                 opt.campaignDir.c_str());
+        return bad ? 1 : 2;
+    }
+
+    std::printf("== campaign %s (%zu job(s)) ==\n",
+                opt.campaignDir.c_str(), rows.size());
+    std::printf("%-40s %-9s %3s %4s %8s %7s %9s %8s %8s\n", "job",
+                "uarch", "thr", "K", "cov", "err%", "hit-rate",
+                "dedup-B", "wall s");
+    double hits = 0, misses = 0, deduped = 0, stored = 0, read = 0;
+    size_t sim_hits = 0, analysis_hits = 0;
+    for (const auto &r : rows) {
+        const double lookups = r.hits + r.misses;
+        std::printf("%-40s %-9s %3.0f %4.0f %8.4f %7.2f %8.0f%% "
+                    "%8.0f %8.3f\n",
+                    r.job.c_str(), r.uarch.c_str(), r.threads,
+                    r.chosenK, r.coverage, r.errPct,
+                    lookups > 0 ? 100.0 * r.hits / lookups : 0.0,
+                    r.bytesDeduped, r.wall);
+        hits += r.hits;
+        misses += r.misses;
+        deduped += r.bytesDeduped;
+        stored += r.bytesStored;
+        read += r.bytesRead;
+        sim_hits += r.simHit ? 1 : 0;
+        analysis_hits += r.analysisHit ? 1 : 0;
+    }
+    const double lookups = hits + misses;
+    std::printf("\nstore          : %.0f lookup(s), %.0f%% hit rate, "
+                "%.0f byte(s) stored, %.0f read back, %.0f "
+                "deduplicated\n",
+                lookups,
+                lookups > 0 ? 100.0 * hits / lookups : 0.0, stored,
+                read, deduped);
+    std::printf("stage reuse    : analysis served from store in "
+                "%zu/%zu job(s), region sims in %zu/%zu\n",
+                analysis_hits, rows.size(), sim_hits, rows.size());
+    return bad ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -509,6 +637,8 @@ main(int argc, char **argv)
             opt.tracePath = arg.substr(8);
         } else if (arg.rfind("--metrics=", 0) == 0) {
             opt.metricsPath = arg.substr(10);
+        } else if (arg.rfind("--campaign=", 0) == 0) {
+            opt.campaignDir = arg.substr(11);
         } else if (arg == "--check") {
             opt.check = true;
         } else {
@@ -517,8 +647,10 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (opt.tracePath.empty() && opt.metricsPath.empty()) {
-        logError("nothing to do: give --trace and/or --metrics");
+    if (opt.tracePath.empty() && opt.metricsPath.empty() &&
+        opt.campaignDir.empty()) {
+        logError("nothing to do: give --trace, --metrics, or "
+                 "--campaign");
         usage();
         return 2;
     }
@@ -527,5 +659,7 @@ main(int argc, char **argv)
         rc = std::max(rc, reportTrace(opt));
     if (!opt.metricsPath.empty())
         rc = std::max(rc, reportMetrics(opt));
+    if (!opt.campaignDir.empty())
+        rc = std::max(rc, reportCampaign(opt));
     return rc;
 }

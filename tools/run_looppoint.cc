@@ -61,6 +61,10 @@ struct CliOptions
     bool resume = false;
     std::string tracePath;
     std::string metricsPath;
+    /** Artifact-store directory; empty = no memoization. */
+    std::string storeDir;
+    /** Named microarchitecture preset ("" = baseline). */
+    std::string uarchPreset;
 };
 
 void
@@ -119,6 +123,19 @@ usage()
         "                       inspect it with lp_report)\n"
         "      --metrics=PATH   write the metrics registry to PATH\n"
         "                       (*.txt = text, otherwise JSON)\n"
+        "      --store=DIR      content-addressed artifact store at\n"
+        "                       DIR: recording, profiling, clustering,\n"
+        "                       region simulation and the full sim are\n"
+        "                       served from the store when their stage\n"
+        "                       keys hit (bit-identical) and published\n"
+        "                       back when recomputed. Safe to share\n"
+        "                       between concurrent runs. Manage with\n"
+        "                       lp_store; sweep with lp_campaign\n"
+        "      --uarch=PRESET   named microarchitecture preset\n"
+        "                       (baseline, big-l2, small-rob,\n"
+        "                       slow-mem, prefetch, narrow, inorder);\n"
+        "                       changing it re-keys only the\n"
+        "                       simulation stages of the store\n"
         "  -h, --help           this message\n"
         "\nexit codes:\n"
         "  0  success, full coverage\n"
@@ -141,63 +158,6 @@ usage()
         "  ./run_looppoint -p demo-matrix-2,demo-matrix-3 -w active "
         "-i test --force\n"
         "  ./run_looppoint -p spec-imagick-1 -i train -n 8\n");
-}
-
-/**
- * Translate an artifact-style program name
- * (<suite>-<application>-<input-num>) to a workload-table app name.
- */
-std::string
-resolveProgram(const std::string &prog)
-{
-    auto dash1 = prog.find('-');
-    auto dash2 = prog.rfind('-');
-    if (dash1 == std::string::npos || dash2 == dash1)
-        fatal("program '%s' is not of the form "
-              "<suite>-<application>-<input-num>", prog.c_str());
-    std::string suite = prog.substr(0, dash1);
-    std::string app = prog.substr(dash1 + 1, dash2 - dash1 - 1);
-    std::string input_num = prog.substr(dash2 + 1);
-
-    if (suite == "demo")
-        return "demo-matrix";
-    if (suite == "npb")
-        return "npb-" + app;
-    if (suite == "spec") {
-        // Accept either the numbered name (spec-638.imagick_s-1) or
-        // the short name (spec-imagick-1).
-        for (const auto &d : spec2017Apps()) {
-            if (d.name == app + "." + input_num)
-                return d.name;
-            // short form: match ".<short>_s.<num>"
-            std::string needle = "." + app + "_s." + input_num;
-            if (d.name.size() > needle.size() &&
-                d.name.compare(d.name.size() - needle.size(),
-                               needle.size(), needle) == 0)
-                return d.name;
-        }
-        fatal("unknown SPEC program '%s'", prog.c_str());
-    }
-    fatal("unknown suite '%s' (expected demo, spec, or npb)",
-          suite.c_str());
-}
-
-InputClass
-resolveInput(const std::string &name)
-{
-    if (name == "test")
-        return InputClass::Test;
-    if (name == "train")
-        return InputClass::Train;
-    if (name == "ref")
-        return InputClass::Ref;
-    if (name == "A")
-        return InputClass::NpbA;
-    if (name == "C")
-        return InputClass::NpbC;
-    if (name == "D")
-        return InputClass::NpbD;
-    fatal("unknown input class '%s'", name.c_str());
 }
 
 std::vector<std::string>
@@ -292,6 +252,10 @@ parseCli(int argc, char **argv)
             opts.tracePath = value;
         } else if (parseArg(argc, argv, i, "", "--metrics", &value)) {
             opts.metricsPath = value;
+        } else if (parseArg(argc, argv, i, "", "--store", &value)) {
+            opts.storeDir = value;
+        } else if (parseArg(argc, argv, i, "", "--uarch", &value)) {
+            opts.uarchPreset = value;
         } else if (arg == "--force" || arg == "--reuse-profile" ||
                    arg == "--reuse-fullsim") {
             // Artifact compatibility: runs are always fresh.
@@ -307,9 +271,13 @@ parseCli(int argc, char **argv)
         fatal("backend must be 'pool' or 'procs'");
     if (opts.workerTimeout < 0.0)
         fatal("--worker-timeout must be >= 0");
-    // Validate the fault spec up front: a malformed plan is a usage
-    // error (exit 2), not a runtime failure.
+    // Validate the fault spec and uarch preset up front: a malformed
+    // one is a usage error (exit 2), not a runtime failure.
     FaultPlan::parse(opts.faultSpec);
+    if (!opts.uarchPreset.empty()) {
+        SimConfig scratch;
+        applyUarchPreset(scratch, opts.uarchPreset);
+    }
     opts.jobs = ThreadPool::resolveWorkers(opts.jobs);
     return opts;
 }
@@ -319,7 +287,7 @@ runNative(const std::string &app_name, const CliOptions &cli)
 {
     const AppDescriptor &app = findApp(app_name);
     uint32_t threads = app.effectiveThreads(cli.ncores);
-    Program prog = generateProgram(app, resolveInput(cli.inputClass));
+    Program prog = generateProgram(app, resolveInputClass(cli.inputClass));
     ExecConfig cfg;
     cfg.numThreads = threads;
     cfg.waitPolicy = cli.waitPolicy == "active" ? WaitPolicy::Active
@@ -340,7 +308,7 @@ runNative(const std::string &app_name, const CliOptions &cli)
 int
 runOne(const std::string &program, const CliOptions &cli)
 {
-    std::string app_name = resolveProgram(program);
+    std::string app_name = resolveArtifactProgram(program);
     std::printf("==== %s (%s, input %s, %u cores, %s wait, %u jobs) "
                 "====\n",
                 program.c_str(), app_name.c_str(),
@@ -351,13 +319,15 @@ runOne(const std::string &program, const CliOptions &cli)
 
     ExperimentConfig cfg;
     cfg.app = app_name;
-    cfg.input = resolveInput(cli.inputClass);
+    cfg.input = resolveInputClass(cli.inputClass);
     cfg.requestedThreads = cli.ncores;
     cfg.jobs = cli.jobs;
     cfg.waitPolicy = cli.waitPolicy == "active" ? WaitPolicy::Active
                                                 : WaitPolicy::Passive;
     cfg.constrainedRegions = cli.constrained;
     cfg.simulateFull = cli.fullSim;
+    if (!cli.uarchPreset.empty())
+        applyUarchPreset(cfg.sim, cli.uarchPreset);
     if (cli.inorder)
         cfg.sim.coreType = CoreType::InOrder;
     cfg.sim.analysis.lint = cli.lint;
@@ -371,6 +341,7 @@ runOne(const std::string &program, const CliOptions &cli)
     cfg.sim.obs.metrics = !cli.metricsPath.empty();
     cfg.journalPath = cli.journalPath;
     cfg.resume = cli.resume;
+    cfg.storeDir = cli.storeDir;
     // Test-class runs are small; shrink slices so clustering has
     // enough intervals to work with (paper Sec. III-B).
     if (cfg.input == InputClass::Test)
@@ -403,6 +374,21 @@ runOne(const std::string &program, const CliOptions &cli)
     if (!cfg.journalPath.empty())
         std::printf("journal        : %s, %zu region(s) reused\n",
                     cfg.journalPath.c_str(), r.journalHits);
+    if (!cfg.storeDir.empty())
+        std::printf("store          : %llu hit(s), %llu miss(es), "
+                    "%llu publish(es), %llu corrupt, regions %s, "
+                    "fullsim %s\n",
+                    static_cast<unsigned long long>(r.storeStats.hits),
+                    static_cast<unsigned long long>(
+                        r.storeStats.misses),
+                    static_cast<unsigned long long>(
+                        r.storeStats.publishes),
+                    static_cast<unsigned long long>(
+                        r.storeStats.corruptEntries),
+                    r.simStageHit ? "cached" : "simulated",
+                    !r.haveFullSim     ? "skipped"
+                    : r.fullSimHit     ? "cached"
+                                       : "simulated");
     if (r.haveFullSim) {
         std::printf("full simulation: runtime %.6f s\n",
                     r.fullSim.runtimeSeconds);
