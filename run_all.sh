@@ -45,6 +45,12 @@
 # two-point lp_campaign must reuse the analysis prefix and skip
 # completed jobs on re-invocation.
 #
+# With --analysis-smoke the analysis suite is exercised end to end:
+# the full pass set (lint + race + lockset/deadlock + audit) runs over
+# every bundled workload and must report zero warning/error findings,
+# then a store + journal fixture is deliberately corrupted and the
+# audit must flag exactly the injected defects.
+#
 # With --faults the fault-tolerance layer is exercised under
 # AddressSanitizer (-DLOOPPOINT_SANITIZE=address in build-asan/): the
 # corruption/journal/fault-injection test subset runs first, then
@@ -318,6 +324,70 @@ if worst > 0.02:
 PYEOF
     rm -f "$trace" "$metrics" "$out"
     echo "obs-smoke OK"
+    exit 0
+fi
+
+if [ "$1" = "--analysis-smoke" ]; then
+    echo "== analysis smoke: full pass set over every bundled workload =="
+    cmake -B build -S . || exit 1
+    cmake --build build -j --target lp_lint run_looppoint || exit 1
+    progs="demo-matrix-1"
+    progs="$progs,npb-bt-1,npb-cg-1,npb-ep-1,npb-ft-1,npb-is-1"
+    progs="$progs,npb-lu-1,npb-mg-1,npb-sp-1,npb-ua-1"
+    progs="$progs,pt-pipeline-1,pt-workqueue-1,pt-lockchain-1"
+    progs="$progs,spec-bwaves-1,spec-bwaves-2,spec-cactuBSSN-1"
+    progs="$progs,spec-lbm-1,spec-wrf-1,spec-cam4-1,spec-pop2-1"
+    progs="$progs,spec-imagick-1,spec-nab-1,spec-nab-2"
+    progs="$progs,spec-fotonik3d-1,spec-roms-1,spec-xz-1,spec-xz-2"
+    out=$(mktemp /tmp/analysis_smoke.XXXXXX.txt)
+    build/tools/lp_lint -p "$progs" -n 8         --race-check --lock-check --audit | tee "$out" || {
+        echo "analysis-smoke FAIL: lp_lint reported errors"
+        exit 1
+    }
+    if grep -qE '^(warning|error) \[' "$out"; then
+        echo "analysis-smoke FAIL: bundled workloads must be clean"
+        exit 1
+    fi
+
+    echo "== analysis smoke: corrupted store and journal fixtures =="
+    dir=$(mktemp -d /tmp/analysis_smoke.XXXXXX)
+    build/tools/run_looppoint -p demo-matrix-1 -n 4 --no-fullsim         --store="$dir/store" --journal="$dir/journal" --audit         > "$dir/clean.txt" || { echo "analysis-smoke FAIL: clean run"; exit 1; }
+    grep -q 'audit          : 0 finding(s)' "$dir/clean.txt" || {
+        echo "analysis-smoke FAIL: clean run must have 0 audit findings"
+        exit 1
+    }
+    python3 - "$dir/store" <<'PYEOF' || exit 1
+import glob, sys
+obj = sorted(glob.glob(sys.argv[1] + "/objects/*"))[0]
+with open(obj, "r+b") as f:
+    f.seek(-1, 2)
+    b = f.read(1)
+    f.seek(-1, 2)
+    f.write(bytes([b[0] ^ 0xFF]))
+PYEOF
+    sed -i 's/seed=42/seed=41/' "$dir/journal"
+    build/tools/lp_lint -p demo-matrix-1 -n 4 --passes=audit         --store="$dir/store" --journal="$dir/journal"         > "$dir/bad.txt"
+    rc=$?
+    [ $rc -eq 1 ] || {
+        echo "analysis-smoke FAIL: corrupted fixtures exited $rc (want 1)"
+        exit 1
+    }
+    grep -q 'failed hash verification' "$dir/bad.txt" || {
+        echo "analysis-smoke FAIL: corrupt store object not flagged"
+        exit 1
+    }
+    grep -q 'journal does not load' "$dir/bad.txt" || {
+        echo "analysis-smoke FAIL: corrupt journal key not flagged"
+        exit 1
+    }
+    # Exactly the two injected defects, nothing else.
+    n=$(grep -cE '^(warning|error) \[' "$dir/bad.txt")
+    [ "$n" = 2 ] || {
+        echo "analysis-smoke FAIL: expected exactly 2 findings, got $n"
+        exit 1
+    }
+    rm -rf "$dir" "$out"
+    echo "analysis-smoke OK"
     exit 0
 fi
 

@@ -1,0 +1,115 @@
+#include "analysis/baseline.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace looppoint {
+
+namespace {
+
+constexpr char kMagic[] = "looppoint-baseline-v1";
+
+uint64_t
+fnv1a(uint64_t h, std::string_view s)
+{
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    // Field separator: keeps ("ab","c") distinct from ("a","bc").
+    h ^= 0x1f;
+    h *= 0x100000001b3ull;
+    return h;
+}
+
+} // namespace
+
+uint64_t
+diagnosticFingerprint(const Diagnostic &d)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a(h, severityName(d.severity));
+    h = fnv1a(h, d.pass);
+    h = fnv1a(h, d.location);
+    h = fnv1a(h, d.message);
+    return h;
+}
+
+void
+writeBaseline(std::ostream &os, const std::vector<Diagnostic> &diags)
+{
+    os << kMagic << '\n';
+    for (const Diagnostic &d : diags) {
+        if (d.severity == Severity::Info)
+            continue;
+        // One-line comment of what is being suppressed; newlines in
+        // messages are flattened so the file stays line-oriented.
+        std::string text = strFormat("%s [%s] %s: %s",
+                                     std::string(
+                                         severityName(d.severity))
+                                         .c_str(),
+                                     d.pass.c_str(),
+                                     d.location.c_str(),
+                                     d.message.c_str());
+        std::replace(text.begin(), text.end(), '\n', ' ');
+        std::replace(text.begin(), text.end(), '\r', ' ');
+        os << "# " << text << '\n';
+        os << "finding " << strFormat("%016llx",
+                                      static_cast<unsigned long long>(
+                                          diagnosticFingerprint(d)))
+           << '\n';
+    }
+}
+
+LoadResult<std::set<uint64_t>>
+loadBaseline(std::istream &is)
+{
+    using Result = LoadResult<std::set<uint64_t>>;
+    std::string line;
+    if (!std::getline(is, line) || line != kMagic)
+        return Result::failure(LoadErrorKind::BadMagic,
+                               "not a looppoint baseline file");
+    std::set<uint64_t> out;
+    size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key, hex;
+        if (!(ls >> key >> hex) || key != "finding" ||
+            hex.size() != 16 ||
+            hex.find_first_not_of("0123456789abcdef") !=
+                std::string::npos)
+            return Result::failure(
+                LoadErrorKind::Parse,
+                strFormat("baseline line %zu is not a 'finding "
+                          "<hex64>' record",
+                          lineno));
+        out.insert(std::stoull(hex, nullptr, 16));
+    }
+    return Result::success(std::move(out));
+}
+
+size_t
+applyBaseline(std::vector<Diagnostic> &diags,
+              const std::set<uint64_t> &baseline)
+{
+    const size_t before = diags.size();
+    diags.erase(std::remove_if(
+                    diags.begin(), diags.end(),
+                    [&](const Diagnostic &d) {
+                        return d.severity != Severity::Info &&
+                               baseline.count(
+                                   diagnosticFingerprint(d)) != 0;
+                    }),
+                diags.end());
+    return before - diags.size();
+}
+
+} // namespace looppoint

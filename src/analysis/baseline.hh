@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Baseline (suppression) files for analysis findings. A baseline
+ * records the fingerprints of known findings so CI can gate on *new*
+ * findings only: `lp_lint --write-baseline=FILE` snapshots the current
+ * warnings and errors, and later runs with `--baseline=FILE` drop any
+ * finding whose fingerprint appears in the file.
+ *
+ * Format (line-oriented, text, git-diffable):
+ *
+ *   looppoint-baseline-v1
+ *   # error [race] block 3 (pc 0x...) instr 1: data race on ...
+ *   finding 7f3a9c0d12345678
+ *
+ * Each suppressed finding is one `finding <fnv64-hex>` line preceded
+ * by a human-readable comment of the finding it came from. The
+ * fingerprint covers severity, pass, location, and message, so a
+ * finding that changes in any visible way is no longer suppressed.
+ * Info diagnostics are never baselined: they do not affect exit
+ * status, and snapshotting them would churn the file on every run.
+ */
+
+#ifndef LOOPPOINT_ANALYSIS_BASELINE_HH
+#define LOOPPOINT_ANALYSIS_BASELINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <set>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "util/load_result.hh"
+
+namespace looppoint {
+
+/** Stable 64-bit fingerprint of one finding (FNV-1a). */
+uint64_t diagnosticFingerprint(const Diagnostic &d);
+
+/**
+ * Write a baseline suppressing every warning and error in `diags`
+ * (info diagnostics are skipped).
+ */
+void writeBaseline(std::ostream &os,
+                   const std::vector<Diagnostic> &diags);
+
+/** Parse a baseline file into the set of suppressed fingerprints. */
+LoadResult<std::set<uint64_t>> loadBaseline(std::istream &is);
+
+/**
+ * Remove from `diags` every warning or error whose fingerprint is in
+ * `baseline`. Returns how many findings were suppressed.
+ */
+size_t applyBaseline(std::vector<Diagnostic> &diags,
+                     const std::set<uint64_t> &baseline);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_ANALYSIS_BASELINE_HH

@@ -1,6 +1,10 @@
 #include "analysis/diagnostic.hh"
 
+#include <algorithm>
 #include <ostream>
+#include <tuple>
+
+#include "obs/json.hh"
 
 namespace looppoint {
 
@@ -70,33 +74,6 @@ printDiagnosticsText(std::ostream &os,
     }
 }
 
-namespace {
-
-void
-jsonEscape(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\t': os << "\\t"; break;
-          case '\r': os << "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                static const char hex[] = "0123456789abcdef";
-                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
-            } else {
-                os << c;
-            }
-        }
-    }
-    os << '"';
-}
-
-} // namespace
-
 void
 printDiagnosticsJson(std::ostream &os,
                      const std::vector<Diagnostic> &diags)
@@ -104,17 +81,25 @@ printDiagnosticsJson(std::ostream &os,
     os << "[\n";
     for (size_t i = 0; i < diags.size(); ++i) {
         const Diagnostic &d = diags[i];
-        os << "  {\"severity\": ";
-        jsonEscape(os, std::string(severityName(d.severity)));
-        os << ", \"pass\": ";
-        jsonEscape(os, d.pass);
-        os << ", \"location\": ";
-        jsonEscape(os, d.location);
-        os << ", \"message\": ";
-        jsonEscape(os, d.message);
-        os << '}' << (i + 1 < diags.size() ? "," : "") << '\n';
+        os << "  {\"severity\": " << jsonQuote(severityName(d.severity))
+           << ", \"pass\": " << jsonQuote(d.pass)
+           << ", \"location\": " << jsonQuote(d.location)
+           << ", \"message\": " << jsonQuote(d.message) << '}'
+           << (i + 1 < diags.size() ? "," : "") << '\n';
     }
     os << "]\n";
+}
+
+void
+sortDiagnosticsCanonical(std::vector<Diagnostic> &diags)
+{
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return std::tie(a.pass, a.location, a.message,
+                                         a.severity) <
+                                std::tie(b.pass, b.location, b.message,
+                                         b.severity);
+                     });
 }
 
 } // namespace looppoint

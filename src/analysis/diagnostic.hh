@@ -96,6 +96,14 @@ void printDiagnosticsText(std::ostream &os,
 void printDiagnosticsJson(std::ostream &os,
                           const std::vector<Diagnostic> &diags);
 
+/**
+ * Sort diagnostics into the canonical report order: by pass, then
+ * location, then message, then severity. Analyses that run under a
+ * thread pool append findings in completion order; sorting before
+ * emission makes the output independent of `--jobs`.
+ */
+void sortDiagnosticsCanonical(std::vector<Diagnostic> &diags);
+
 } // namespace looppoint
 
 #endif // LOOPPOINT_ANALYSIS_DIAGNOSTIC_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Post-run sampling-validity audit of a whole experiment: builds an
+ * AuditContext from an ExperimentConfig/ExperimentResult pair and
+ * runs ArtifactAudit over everything the run produced or consumed
+ * (recording, clustering, journal, store). Lives above lp_core — the
+ * experiment runner cannot call the audit itself without making the
+ * core/analysis dependency circular, so the tools invoke this after
+ * runExperiment() returns.
+ */
+
+#ifndef LOOPPOINT_ANALYSIS_EXPERIMENT_AUDIT_HH
+#define LOOPPOINT_ANALYSIS_EXPERIMENT_AUDIT_HH
+
+#include "core/experiment.hh"
+
+namespace looppoint {
+
+/**
+ * Audit the artifacts of a completed experiment. Appends the findings
+ * to res.analysis.diagnostics in canonical order, sets
+ * res.auditFindings, and returns that count (warnings + errors; info
+ * lines excluded).
+ */
+size_t auditExperiment(const ExperimentConfig &cfg,
+                       ExperimentResult &res);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_ANALYSIS_EXPERIMENT_AUDIT_HH

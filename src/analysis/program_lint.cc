@@ -48,7 +48,8 @@ walkItems(const std::vector<BodyItem> &items, Fn &&fn, int depth = 0)
         return;
     for (const BodyItem &item : items) {
         fn(item);
-        if (item.kind == BodyItem::Kind::Loop)
+        if (item.kind == BodyItem::Kind::Loop ||
+            item.kind == BodyItem::Kind::Critical)
             walkItems(item.children, fn, depth + 1);
     }
 }

@@ -10,8 +10,9 @@
 namespace looppoint {
 
 RaceDetector::RaceDetector(const Program &prog_, SyncArbiter *inner_,
-                           DiagnosticSink &sink_)
-    : prog(&prog_), inner(inner_), sink(&sink_)
+                           DiagnosticSink &sink_, size_t max_findings)
+    : prog(&prog_), inner(inner_), sink(&sink_),
+      maxReports(max_findings)
 {
     lockClock.resize(std::max<uint32_t>(1, prog->numLocks));
     barrierClock.resize(prog->runList.size());
@@ -261,12 +262,12 @@ RaceDetector::reportRace(const Epoch &prev, bool prev_write,
              .second)
         return;
     ++counters.races;
-    if (counters.races > kMaxReports) {
-        if (counters.races == kMaxReports + 1)
+    if (counters.races > maxReports) {
+        if (counters.races == maxReports + 1)
             sink->info("race", "",
                        strFormat("more than %zu distinct races; "
                                  "further reports suppressed",
-                                 kMaxReports));
+                                 maxReports));
         return;
     }
     const Severity sev = (prev_write && is_write) ? Severity::Error
@@ -283,10 +284,11 @@ RaceDetector::reportRace(const Epoch &prev, bool prev_write,
 
 RaceCheckStats
 checkGuestRaces(const Program &prog, const Pinball &pinball,
-                DiagnosticSink &sink, uint64_t quantum_instrs)
+                DiagnosticSink &sink, uint64_t quantum_instrs,
+                size_t max_findings)
 {
     ReplayArbiter replay(pinball.log);
-    RaceDetector detector(prog, &replay, sink);
+    RaceDetector detector(prog, &replay, sink, max_findings);
     ExecConfig cfg = pinball.config;
     cfg.genAddresses = true;
     ExecutionEngine engine(prog, cfg, &detector);

@@ -64,9 +64,12 @@ class RaceDetector : public ExecListener, public SyncArbiter
      * @param inner the arbiter actually deciding outcomes (usually a
      *        ReplayArbiter); may be nullptr (default policy)
      * @param sink where race reports go (pass name "race")
+     * @param max_findings cap on individual race reports (further
+     *        races are only counted)
      */
     RaceDetector(const Program &prog, SyncArbiter *inner,
-                 DiagnosticSink &sink);
+                 DiagnosticSink &sink,
+                 size_t max_findings = kMaxReports);
 
     // SyncArbiter (decorator): delegate, then update clocks.
     bool mayAcquireLock(uint32_t lock_id, uint32_t tid) override;
@@ -80,7 +83,7 @@ class RaceDetector : public ExecListener, public SyncArbiter
 
     const RaceCheckStats &stats() const { return counters; }
 
-    /** Cap on individual race reports (further races only counted). */
+    /** Default cap on individual race reports. */
     static constexpr size_t kMaxReports = 32;
 
   private:
@@ -128,6 +131,7 @@ class RaceDetector : public ExecListener, public SyncArbiter
     const Program *prog;
     SyncArbiter *inner;
     DiagnosticSink *sink;
+    size_t maxReports;
 
     /** Per-thread vector clocks (created on first sight of a tid). */
     std::vector<VectorClock> clocks;
@@ -161,10 +165,10 @@ class RaceDetector : public ExecListener, public SyncArbiter
  * race detector attached. Race reports go to `sink` (pass "race"); a
  * replay divergence is reported as an error diagnostic, not thrown.
  */
-RaceCheckStats checkGuestRaces(const Program &prog,
-                               const Pinball &pinball,
-                               DiagnosticSink &sink,
-                               uint64_t quantum_instrs = 1000);
+RaceCheckStats checkGuestRaces(
+    const Program &prog, const Pinball &pinball, DiagnosticSink &sink,
+    uint64_t quantum_instrs = 1000,
+    size_t max_findings = RaceDetector::kMaxReports);
 
 } // namespace looppoint
 

@@ -1,0 +1,76 @@
+#include "analysis/sarif.hh"
+
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace looppoint {
+
+namespace {
+
+const char *
+sarifLevel(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+      default: return "none";
+    }
+}
+
+} // namespace
+
+void
+printDiagnosticsSarif(std::ostream &os,
+                      const std::vector<Diagnostic> &diags)
+{
+    // Rules: one per distinct pass, in sorted order so the rule table
+    // is independent of finding order.
+    std::set<std::string> passes;
+    for (const Diagnostic &d : diags)
+        passes.insert(d.pass);
+
+    os << "{\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"looppoint-analysis\",\n"
+       << "          \"informationUri\": "
+          "\"https://github.com/looppoint/looppoint\",\n"
+       << "          \"rules\": [\n";
+    size_t i = 0;
+    for (const std::string &pass : passes) {
+        os << "            {\"id\": " << jsonQuote(pass)
+           << ", \"name\": " << jsonQuote(pass) << '}'
+           << (++i < passes.size() ? "," : "") << '\n';
+    }
+    os << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [\n";
+    for (size_t n = 0; n < diags.size(); ++n) {
+        const Diagnostic &d = diags[n];
+        os << "        {\"ruleId\": " << jsonQuote(d.pass)
+           << ", \"level\": \"" << sarifLevel(d.severity)
+           << "\", \"message\": {\"text\": " << jsonQuote(d.message)
+           << '}';
+        if (!d.location.empty()) {
+            os << ", \"locations\": [{\"logicalLocations\": "
+                  "[{\"fullyQualifiedName\": " << jsonQuote(d.location)
+               << "}]}]";
+        }
+        os << '}' << (n + 1 < diags.size() ? "," : "") << '\n';
+    }
+    os << "      ]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+}
+
+} // namespace looppoint

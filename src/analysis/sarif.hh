@@ -1,0 +1,36 @@
+/**
+ * @file
+ * SARIF 2.1.0 emitter for analysis diagnostics. SARIF (Static
+ * Analysis Results Interchange Format) is the OASIS interchange format
+ * CI systems and code hosts ingest natively; emitting it makes
+ * lp_lint / run_looppoint findings machine-consumable without a
+ * bespoke parser.
+ *
+ * Mapping: each analysis pass becomes a reporting rule
+ * (`tool.driver.rules[]`, ruleId = pass name); each diagnostic becomes
+ * a `result` with `level` note/warning/error and its location string
+ * carried as a logical location (our locations are program/artifact
+ * coordinates like "kernel 'k0' body", not files).
+ */
+
+#ifndef LOOPPOINT_ANALYSIS_SARIF_HH
+#define LOOPPOINT_ANALYSIS_SARIF_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+
+namespace looppoint {
+
+/**
+ * Render `diags` as a complete SARIF 2.1.0 log with a single run.
+ * Emission order follows the input order; callers wanting
+ * jobs-independent output should sortDiagnosticsCanonical() first.
+ */
+void printDiagnosticsSarif(std::ostream &os,
+                           const std::vector<Diagnostic> &diags);
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_ANALYSIS_SARIF_HH

@@ -7,6 +7,7 @@
 #include <limits>
 #include <optional>
 
+#include "analysis/lockset.hh"
 #include "analysis/program_lint.hh"
 #include "analysis/race_detector.hh"
 #include "core/region_exec.hh"
@@ -264,11 +265,15 @@ LoopPointPipeline::analyze()
     // (2b) Optional verification passes over the recorded execution.
     // They only produce diagnostics; the pipeline output is
     // unaffected. Lint wants the DCFG, which a profile hit skipped.
-    if (opts.analysis.lint || opts.analysis.raceCheck) {
+    if (opts.analysis.lint || opts.analysis.raceCheck ||
+        opts.analysis.lockCheck) {
         if (opts.analysis.lint && !dcfg)
             build_dcfg();
         ScopedSpan span(tracer, "analyze.verify");
         DiagnosticSink sink;
+        const uint32_t cap = opts.analysis.maxFindings
+                                 ? opts.analysis.maxFindings
+                                 : RaceDetector::kMaxReports;
         if (opts.analysis.lint) {
             LintContext lint_ctx;
             lint_ctx.prog = prog;
@@ -279,8 +284,12 @@ LoopPointPipeline::analyze()
         }
         if (opts.analysis.raceCheck)
             checkGuestRaces(*prog, out.pinball, sink,
-                            opts.flowQuantum);
+                            opts.flowQuantum, cap);
+        if (opts.analysis.lockCheck)
+            checkGuestLockDiscipline(*prog, out.pinball, sink,
+                                     opts.flowQuantum, cap);
         out.diagnostics = sink.take();
+        sortDiagnosticsCanonical(out.diagnostics);
         span.arg("diagnostics",
                  static_cast<uint64_t>(out.diagnostics.size()));
     }

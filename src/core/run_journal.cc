@@ -143,6 +143,13 @@ RunJournal::size() const
     return records.size();
 }
 
+std::vector<RunJournal::Record>
+RunJournal::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return records;
+}
+
 bool
 RunJournal::rewriteLocked()
 {

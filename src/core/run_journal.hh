@@ -130,6 +130,8 @@ class RunJournal
 
     const std::string &path() const { return filePath; }
     size_t size() const;
+    /** Copy of the current records (audit / reporting). */
+    std::vector<Record> snapshot() const;
     /** Invalid tail records dropped by load(). */
     size_t droppedRecords() const { return dropped; }
     /** Appends that failed to persist (disk full, permissions). */

@@ -373,7 +373,25 @@ ExecutionEngine::walkBody(uint32_t tid, bool &blocked)
                     f.sub = 3;
                     return item.blocks[1]; // critical section
                 }
-                // f.sub == 3: leave the critical section.
+                if (f.sub == 3) {
+                    if (item.children.empty()) {
+                        releaseLock(tid, item.lockId);
+                        f.sub = 0;
+                        ++f.idx;
+                        return item.blocks[2]; // release stub
+                    }
+                    // Nested body: walk the children in a child frame
+                    // while the lock stays held; sub == 4 releases it
+                    // once the child frame pops.
+                    f.sub = 4;
+                    Frame child;
+                    child.crit = &item;
+                    child.items = &item.children;
+                    child.stage = 0;
+                    c.stack.push_back(child); // invalidates f
+                    continue;
+                }
+                // f.sub == 4: children done, leave the critical section.
                 releaseLock(tid, item.lockId);
                 f.sub = 0;
                 ++f.idx;
@@ -383,6 +401,13 @@ ExecutionEngine::walkBody(uint32_t tid, bool &blocked)
             }
         }
         // f.stage == 2: end of this frame's item list.
+        if (f.crit) {
+            // Critical-section child frame: no latch; the parent
+            // frame's Critical item (sub == 4) releases the lock and
+            // emits the release stub.
+            c.stack.pop_back();
+            continue;
+        }
         if (f.loop) {
             BlockId latch = f.loop->blocks[1];
             if (--f.tripsLeft > 0) {

@@ -209,7 +209,13 @@ class ExecutionEngine
     {
         /** The Loop body item, or nullptr for the kernel body itself. */
         const BodyItem *loop = nullptr;
-        /** Items being walked (children of `loop` or the kernel body). */
+        /** The Critical item whose children this frame walks, or
+         * nullptr. A critical frame has no header/latch; the lock is
+         * released by the parent frame's Critical item (sub == 4)
+         * after this frame pops. Mutually exclusive with `loop`. */
+        const BodyItem *crit = nullptr;
+        /** Items being walked (children of `loop`/`crit` or the kernel
+         * body). */
         const std::vector<BodyItem> *items = nullptr;
         uint32_t idx = 0;
         /** 0 = emit header, 1 = walk items, 2 = emit latch. */

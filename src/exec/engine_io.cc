@@ -79,16 +79,17 @@ ExecutionEngine::save(std::ostream &os) const
             os << '\n';
         }
         // Frames: the top frame walks the kernel body; each deeper
-        // frame walks the children of a Loop item, identified by its
-        // index in the parent frame's item list.
+        // frame walks the children of a Loop or Critical item,
+        // identified by its index in the parent frame's item list.
         os << "frames " << c.stack.size() << '\n';
         for (size_t i = 0; i < c.stack.size(); ++i) {
             const Frame &f = c.stack[i];
             int64_t parent_item = -1;
             if (i > 0) {
                 const Frame &parent = c.stack[i - 1];
-                LP_ASSERT(f.loop != nullptr);
-                parent_item = f.loop - parent.items->data();
+                const BodyItem *owner = f.loop ? f.loop : f.crit;
+                LP_ASSERT(owner != nullptr);
+                parent_item = owner - parent.items->data();
                 LP_ASSERT(parent_item >= 0 &&
                           static_cast<size_t>(parent_item) <
                               parent.items->size());
@@ -232,10 +233,13 @@ ExecutionEngine::load(std::istream &is, const Program &prog,
                     fatal("engine state parse error: frame path");
                 const BodyItem &item =
                     (*parent.items)[static_cast<size_t>(parent_item)];
-                if (item.kind != BodyItem::Kind::Loop)
+                if (item.kind == BodyItem::Kind::Loop)
+                    f.loop = &item;
+                else if (item.kind == BodyItem::Kind::Critical)
+                    f.crit = &item;
+                else
                     fatal("engine state parse error: frame path does "
-                          "not name a loop");
-                f.loop = &item;
+                          "not name a loop or critical item");
                 f.items = &item.children;
             }
             c.stack.push_back(f);

@@ -49,10 +49,15 @@ Program::bodyItemInstrCount(const BodyItem &item) const
             inner += bodyItemInstrCount(child);
         return inner * item.trips;
       }
-      case BodyItem::Kind::Critical:
-        // Only the critical-section block is main-image work; the
-        // acquire/release stubs live in libiomp and are filtered.
-        return blocks[item.blocks[1]].numInstrs();
+      case BodyItem::Kind::Critical: {
+        // Only the critical-section block and any nested body items
+        // are main-image work; the acquire/release stubs live in
+        // libiomp and are filtered.
+        uint64_t inner = blocks[item.blocks[1]].numInstrs();
+        for (const auto &child : item.children)
+            inner += bodyItemInstrCount(child);
+        return inner;
+      }
       default:
         panic("unknown body item kind");
     }
@@ -167,6 +172,8 @@ validateItem(const Program &p, const BodyItem &item)
         for (int i = 0; i < 3; ++i)
             check_block(item.blocks[i]);
         LP_ASSERT(item.lockId < p.numLocks);
+        for (const auto &child : item.children)
+            validateItem(p, child);
         break;
       default:
         panic("unknown body item kind");

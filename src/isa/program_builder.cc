@@ -254,7 +254,8 @@ ProgramBuilder::beginInnerLoop(uint64_t trips, uint32_t trip_jitter)
 void
 ProgramBuilder::endInnerLoop()
 {
-    LP_ASSERT(!loopStack.empty());
+    LP_ASSERT(!loopStack.empty() &&
+              loopStack.back()->kind == BodyItem::Kind::Loop);
     auto item = std::move(loopStack.back());
     loopStack.pop_back();
     scopeStack.pop_back();
@@ -287,6 +288,30 @@ ProgramBuilder::addCritical(uint32_t lock_id, const BlockSpec &cs)
     prog.kernels.back().sync.lock = true;
     prog.numLocks = std::max(prog.numLocks, lock_id + 1);
     currentScope()->push_back(std::move(item));
+}
+
+void
+ProgramBuilder::beginCritical(uint32_t lock_id, const BlockSpec &cs)
+{
+    auto item = std::make_unique<BodyItem>();
+    item->kind = BodyItem::Kind::Critical;
+    item->lockId = lock_id;
+    item->blocks[1] = makeBlock(cs, ImageId::Main, curRoutine, false);
+    prog.kernels.back().sync.lock = true;
+    prog.numLocks = std::max(prog.numLocks, lock_id + 1);
+    scopeStack.push_back(&item->children);
+    loopStack.push_back(std::move(item));
+}
+
+void
+ProgramBuilder::endCritical()
+{
+    LP_ASSERT(!loopStack.empty() &&
+              loopStack.back()->kind == BodyItem::Kind::Critical);
+    auto item = std::move(loopStack.back());
+    loopStack.pop_back();
+    scopeStack.pop_back();
+    currentScope()->push_back(std::move(*item));
 }
 
 void

@@ -99,6 +99,15 @@ class ProgramBuilder
     /** Append an `omp critical` section protected by lock `lock_id`. */
     void addCritical(uint32_t lock_id, const BlockSpec &cs);
 
+    /**
+     * Open an `omp critical` section protected by `lock_id` whose body
+     * may contain further items (including nested criticals, for
+     * hand-over-hand or gate-lock idioms); close with endCritical().
+     * `cs` is the block executed on entry while the lock is held.
+     */
+    void beginCritical(uint32_t lock_id, const BlockSpec &cs);
+    void endCritical();
+
     /** Give the current kernel an iteration-share skew (0 = balanced). */
     void setImbalance(double imbalance);
 

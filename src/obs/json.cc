@@ -313,15 +313,20 @@ jsonEscape(std::ostream &os, std::string_view s)
           case '\n': os << "\\n"; break;
           case '\r': os << "\\r"; break;
           case '\t': os << "\\t"; break;
-          default:
-              if (static_cast<unsigned char>(c) < 0x20) {
+          default: {
+              // Escape control characters and any byte outside
+              // printable ASCII (\u00XX = Latin-1 reading): strings
+              // may carry raw artifact bytes, and the emitted JSON
+              // must stay valid regardless.
+              const auto u = static_cast<unsigned char>(c);
+              if (u < 0x20 || u >= 0x7f) {
                   char buf[8];
-                  std::snprintf(buf, sizeof(buf), "\\u%04x",
-                                static_cast<unsigned char>(c));
+                  std::snprintf(buf, sizeof(buf), "\\u%04x", u);
                   os << buf;
               } else {
                   os << c;
               }
+          }
         }
     }
 }

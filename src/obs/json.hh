@@ -74,7 +74,11 @@ struct JsonValue
 std::optional<JsonValue> parseJson(std::string_view text,
                                    std::string *err = nullptr);
 
-/** Write `s` JSON-escaped (without surrounding quotes). */
+/**
+ * Write `s` JSON-escaped (without surrounding quotes). Control
+ * characters and bytes outside printable ASCII are escaped as \u00XX
+ * (Latin-1 reading), so the output is valid JSON for arbitrary bytes.
+ */
 void jsonEscape(std::ostream &os, std::string_view s);
 
 /** jsonEscape into a fresh string, with surrounding quotes. */

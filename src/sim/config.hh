@@ -50,9 +50,10 @@ struct CacheConfig
 };
 
 /**
- * Which guest-program analyses run alongside the pipeline. Both are
+ * Which guest-program analyses run alongside the pipeline. All are
  * host-side verification passes: they never alter the recorded
- * execution or the simulated metrics.
+ * execution or the simulated metrics, so (like ObsConfig) they are
+ * deliberately excluded from the run-journal fingerprint.
  */
 struct AnalysisConfig
 {
@@ -60,6 +61,12 @@ struct AnalysisConfig
     bool lint = false;
     /** Replay with the happens-before race detector attached. */
     bool raceCheck = false;
+    /** Replay with the lockset + lock-order deadlock pass attached. */
+    bool lockCheck = false;
+    /** Cross-check pipeline artifacts after the run (ArtifactAudit). */
+    bool audit = false;
+    /** Per-pass cap on emitted findings (0 = pass default). */
+    uint32_t maxFindings = 0;
 };
 
 /**

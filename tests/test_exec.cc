@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 
 #include "exec/driver.hh"
 #include "exec/engine.hh"
@@ -218,6 +219,82 @@ TEST(ExecEngine, CriticalSectionsAreExclusiveAndComplete)
     EXPECT_EQ(e.blockExecCount(item.blocks[1]), 80u * 2u);
     EXPECT_EQ(e.blockExecCount(p.runtime.lockAcquire), 80u * 2u);
     EXPECT_EQ(e.blockExecCount(p.runtime.lockRelease), 80u * 2u);
+}
+
+TEST(ExecEngine, NestedCriticalSectionsExecuteChildrenUnderLock)
+{
+    // A critical section built with beginCritical/endCritical executes
+    // its child items while the outer lock is held; nested criticals
+    // acquire and release in LIFO order.
+    ProgramBuilder b("nested-crit", 11);
+    uint32_t k = b.beginKernel("work", SchedPolicy::DynamicFor, 40, 2);
+    b.addStream({.footprintBytes = 1 << 16, .strideBytes = 8});
+    b.beginCritical(0, {.numInstrs = 8, .streams = {0}});
+    b.addBlock({.numInstrs = 6, .streams = {0}});
+    b.beginCritical(1, {.numInstrs = 5, .streams = {0}});
+    b.endCritical();
+    b.endCritical();
+    b.endKernel();
+    b.runKernels({k}, 2);
+    Program p = b.build();
+
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 50);
+    d.run();
+    EXPECT_TRUE(e.allFinished());
+
+    const auto &outer = p.kernels[0].body.back();
+    ASSERT_EQ(outer.kind, BodyItem::Kind::Critical);
+    ASSERT_EQ(outer.children.size(), 2u);
+    const auto &inner = outer.children.back();
+    ASSERT_EQ(inner.kind, BodyItem::Kind::Critical);
+    // Every iteration runs outer CS, child block, and inner CS once.
+    EXPECT_EQ(e.blockExecCount(outer.blocks[1]), 80u);
+    EXPECT_EQ(e.blockExecCount(outer.children[0].blocks[0]), 80u);
+    EXPECT_EQ(e.blockExecCount(inner.blocks[1]), 80u);
+    // Two acquire/release pairs per iteration.
+    EXPECT_EQ(e.blockExecCount(p.runtime.lockAcquire), 160u);
+    EXPECT_EQ(e.blockExecCount(p.runtime.lockRelease), 160u);
+}
+
+TEST(ExecEngine, NestedCriticalStateRoundTripsThroughSaveLoad)
+{
+    // Stop mid-run with critical-section child frames live on thread
+    // stacks, serialize, reload, and check the continuation is
+    // bit-identical (the frame path must name Critical items).
+    ProgramBuilder b("nested-crit-io", 5);
+    uint32_t k = b.beginKernel("work", SchedPolicy::DynamicFor, 24, 1);
+    b.addStream({.footprintBytes = 1 << 16, .strideBytes = 8});
+    b.beginCritical(0, {.numInstrs = 4, .streams = {0}});
+    b.beginInnerLoop(30);
+    b.addBlock({.numInstrs = 10, .streams = {0}});
+    b.endInnerLoop();
+    b.endCritical();
+    b.endKernel();
+    b.runKernels({k}, 2);
+    Program p = b.build();
+
+    ExecConfig cfg{.numThreads = 4, .waitPolicy = WaitPolicy::Passive};
+    ExecutionEngine e(p, cfg);
+    RoundRobinDriver d(e, 25);
+    d.run(nullptr, [&] { return e.globalIcount() > 2000; });
+    ASSERT_FALSE(e.allFinished());
+
+    std::ostringstream os;
+    e.save(os);
+    std::istringstream is(os.str());
+    ExecutionEngine e2 = ExecutionEngine::load(is, p, nullptr);
+
+    StreamCollector c1(4, false), c2(4, false);
+    RoundRobinDriver d1(e, 25);
+    d1.run(&c1);
+    RoundRobinDriver d2(e2, 25);
+    d2.run(&c2);
+    EXPECT_TRUE(e.allFinished());
+    EXPECT_TRUE(e2.allFinished());
+    EXPECT_EQ(c1.streams, c2.streams);
+    EXPECT_EQ(e.globalIcount(), e2.globalIcount());
 }
 
 TEST(ExecEngine, MemRefsGeneratedWhenEnabled)

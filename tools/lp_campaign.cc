@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_audit.hh"
 #include "core/experiment.hh"
 #include "obs/json.hh"
 #include "util/logging.hh"
@@ -66,6 +67,8 @@ struct CampaignOptions
     std::string waitPolicy = "passive";
     uint64_t seed = 42;
     bool fullSim = true;
+    /** Run the post-job artifact audit and record its findings. */
+    bool audit = false;
 };
 
 void
@@ -86,6 +89,9 @@ usage()
         "  --wait-policy=P    passive | active (default: passive)\n"
         "  --seed=N           analysis seed (default: 42)\n"
         "  --no-fullsim       skip per-job ground-truth simulation\n"
+        "  --audit            statically cross-check each job's\n"
+        "                     artifacts after it runs; finding counts\n"
+        "                     land in result.json\n"
         "  -h, --help         this message\n"
         "\nJobs are grouped by (app, input, threads) so consecutive\n"
         "uarch points reuse the analysis stages from the store; jobs\n"
@@ -164,6 +170,8 @@ parseCli(int argc, char **argv)
             opts.seed = std::stoull(value);
         } else if (arg == "--no-fullsim") {
             opts.fullSim = false;
+        } else if (arg == "--audit") {
+            opts.audit = true;
         } else {
             logError("unknown option '%s'", arg.c_str());
             usage();
@@ -224,6 +232,11 @@ void
 writeResultJson(const std::string &path, const Job &job,
                 const ExperimentResult &r, const CampaignOptions &opts)
 {
+    size_t errors = 0, warnings = 0;
+    for (const auto &d : r.analysis.diagnostics) {
+        errors += d.severity == Severity::Error;
+        warnings += d.severity == Severity::Warning;
+    }
     std::ostringstream os;
     os << "{\n"
        << "  \"kind\": \"lp_campaign_job\",\n"
@@ -260,6 +273,10 @@ writeResultJson(const std::string &path, const Job &job,
        << ", \"bytesStored\": " << r.storeStats.bytesStored
        << ", \"bytesDeduped\": " << r.storeStats.bytesDeduped
        << ", \"bytesRead\": " << r.storeStats.bytesRead << "},\n"
+       << "  \"analysis\": {\"findings\": "
+       << r.analysis.diagnostics.size() << ", \"errors\": " << errors
+       << ", \"warnings\": " << warnings
+       << ", \"auditFindings\": " << r.auditFindings << "},\n"
        << "  \"wallSeconds\": " << fmtDouble(job.wallSeconds) << "\n"
        << "}\n";
     const std::string tmp = path + ".tmp";
@@ -296,6 +313,8 @@ runJob(Job &job, const std::string &job_dir,
 
     auto t0 = std::chrono::steady_clock::now();
     ExperimentResult r = runExperiment(cfg);
+    if (opts.audit)
+        auditExperiment(cfg, r);
     job.wallSeconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

@@ -1,27 +1,38 @@
 /**
  * @file
  * lp_lint: standalone guest-program verifier. Generates a workload
- * program, records a pinball, builds the DCFG, and runs the ProgramLint
- * passes (and optionally the happens-before race detector) against it,
- * reporting through the shared diagnostic sink as text or JSON.
+ * program, records a pinball, builds the DCFG, and runs the full
+ * analysis registry against it — the ProgramLint passes, the dynamic
+ * replay checkers (race, lockset, deadlock), and the artifact audit —
+ * reporting through the shared diagnostic sink as text, JSON, or
+ * SARIF 2.1.0, optionally filtered through a baseline file.
  *
  *   lp_lint -p demo-matrix-1 -n 8
- *   lp_lint -p npb-bt-1 --race-check --json
+ *   lp_lint -p npb-bt-1 --race-check --lock-check --json
  *   lp_lint --list-passes
- *   lp_lint -p spec-imagick-1 --passes=structure,streams
+ *   lp_lint -p spec-imagick-1 --passes=structure,streams,lockset
+ *   lp_lint -p demo-matrix-1 --sarif=findings.sarif
+ *   lp_lint -p demo-matrix-1 --write-baseline=known.txt
+ *   lp_lint -p demo-matrix-1 --baseline=known.txt
  *
  * Exit status (shared contract with run_looppoint): 0 when no
  * error-severity diagnostics were produced, 1 on findings, 2 on usage
  * errors, 3 on runtime failures.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/baseline.hh"
 #include "analysis/program_lint.hh"
 #include "analysis/race_detector.hh"
+#include "analysis/registry.hh"
+#include "analysis/sarif.hh"
+#include "core/run_journal.hh"
 #include "dcfg/dcfg.hh"
 #include "pinball/pinball.hh"
 #include "util/logging.hh"
@@ -40,7 +51,17 @@ struct CliOptions
     uint64_t quantum = 1000;
     bool lint = true;
     bool raceCheck = false;
+    bool lockCheck = false;
+    bool audit = false;
     bool json = false;
+    uint32_t maxFindings = 0;
+    std::string sarifPath;
+    /** Artifact-store directory for the audit pass ("" = skip). */
+    std::string storeDir;
+    /** Run journal for the audit pass ("" = skip). */
+    std::string journalPath;
+    std::string baselinePath;
+    std::string writeBaselinePath;
     std::vector<std::string> passes;
 };
 
@@ -58,11 +79,33 @@ usage()
         "  -w, --wait-policy=P  passive | active (default: passive)\n"
         "  -q, --quantum=N      flow-control quantum in instructions\n"
         "                       (default: 1000)\n"
-        "      --passes=LIST    run only these lint passes\n"
-        "      --race-check     also replay with the race detector\n"
-        "      --no-lint        skip the lint passes (race check only)\n"
+        "      --passes=LIST    run exactly these analyses (see\n"
+        "                       --list-passes; overrides the toggles\n"
+        "                       below)\n"
+        "      --race-check     also replay with the happens-before\n"
+        "                       race detector\n"
+        "      --lock-check     also replay with the lockset and\n"
+        "                       lock-order deadlock detectors\n"
+        "      --audit          also cross-check the recording with\n"
+        "                       the artifact audit\n"
+        "      --no-lint        skip the lint passes (dynamic checks\n"
+        "                       only)\n"
+        "      --max-findings=N cap each analysis pass at N reported\n"
+        "                       findings (default: pass-specific, 32)\n"
         "      --json           print diagnostics as a JSON array\n"
-        "      --list-passes    print the lint pass names and exit\n"
+        "      --sarif=PATH     also write the findings as SARIF\n"
+        "                       2.1.0 to PATH\n"
+        "      --store=DIR      audit pass: hash-verify and\n"
+        "                       chain-check the artifact store at DIR\n"
+        "      --journal=PATH   audit pass: validate the run journal\n"
+        "                       at PATH against this program's\n"
+        "                       default-configuration run key\n"
+        "      --baseline=PATH  drop findings whose fingerprints are\n"
+        "                       in the baseline file at PATH\n"
+        "      --write-baseline=PATH  snapshot the current warnings\n"
+        "                       and errors as a baseline at PATH and\n"
+        "                       exit 0\n"
+        "      --list-passes    print every analysis name and exit\n"
         "  -h, --help           this message\n"
         "\nexit codes:\n"
         "  0  no error-severity findings\n"
@@ -125,39 +168,6 @@ resolveInput(const std::string &name)
     fatal("unknown input class '%s'", name.c_str());
 }
 
-/** <suite>-<app>-<input-num> -> workload-table app name. */
-std::string
-resolveProgram(const std::string &prog)
-{
-    auto dash1 = prog.find('-');
-    auto dash2 = prog.rfind('-');
-    if (dash1 == std::string::npos || dash2 == dash1)
-        fatal("program '%s' is not of the form "
-              "<suite>-<application>-<input-num>", prog.c_str());
-    std::string suite = prog.substr(0, dash1);
-    std::string app = prog.substr(dash1 + 1, dash2 - dash1 - 1);
-    std::string input_num = prog.substr(dash2 + 1);
-
-    if (suite == "demo")
-        return "demo-matrix";
-    if (suite == "npb")
-        return "npb-" + app;
-    if (suite == "spec") {
-        for (const auto &d : spec2017Apps()) {
-            if (d.name == app + "." + input_num)
-                return d.name;
-            std::string needle = "." + app + "_s." + input_num;
-            if (d.name.size() > needle.size() &&
-                d.name.compare(d.name.size() - needle.size(),
-                               needle.size(), needle) == 0)
-                return d.name;
-        }
-        fatal("unknown SPEC program '%s'", prog.c_str());
-    }
-    fatal("unknown suite '%s' (expected demo, spec, or npb)",
-          suite.c_str());
-}
-
 CliOptions
 parseCli(int argc, char **argv)
 {
@@ -169,7 +179,7 @@ parseCli(int argc, char **argv)
             usage();
             std::exit(0);
         } else if (arg == "--list-passes") {
-            for (const auto &name : lintPassNames())
+            for (const auto &name : analysisNames())
                 std::printf("%s\n", name.c_str());
             std::exit(0);
         } else if (parseArg(argc, argv, i, "-p", "--program", &value)) {
@@ -188,8 +198,29 @@ parseCli(int argc, char **argv)
             opts.passes = splitCommas(value);
         } else if (arg == "--race-check") {
             opts.raceCheck = true;
+        } else if (arg == "--lock-check") {
+            opts.lockCheck = true;
+        } else if (arg == "--audit") {
+            opts.audit = true;
         } else if (arg == "--no-lint") {
             opts.lint = false;
+        } else if (parseArg(argc, argv, i, "", "--max-findings",
+                            &value)) {
+            opts.maxFindings =
+                static_cast<uint32_t>(std::stoul(value));
+        } else if (parseArg(argc, argv, i, "", "--sarif", &value)) {
+            opts.sarifPath = value;
+        } else if (parseArg(argc, argv, i, "", "--store", &value)) {
+            opts.storeDir = value;
+        } else if (parseArg(argc, argv, i, "", "--journal",
+                            &value)) {
+            opts.journalPath = value;
+        } else if (parseArg(argc, argv, i, "", "--baseline",
+                            &value)) {
+            opts.baselinePath = value;
+        } else if (parseArg(argc, argv, i, "", "--write-baseline",
+                            &value)) {
+            opts.writeBaselinePath = value;
         } else if (arg == "--json") {
             opts.json = true;
         } else {
@@ -202,16 +233,49 @@ parseCli(int argc, char **argv)
         fatal("wait policy must be 'passive' or 'active'");
     if (opts.quantum == 0)
         fatal("quantum must be positive");
-    if (!opts.lint && !opts.raceCheck)
-        fatal("--no-lint without --race-check leaves nothing to do");
+    if (!opts.lint && !opts.raceCheck && !opts.lockCheck &&
+        !opts.audit && opts.passes.empty())
+        fatal("--no-lint with no dynamic check or --passes leaves "
+              "nothing to do");
+    if (!opts.baselinePath.empty() &&
+        !opts.writeBaselinePath.empty())
+        fatal("--baseline and --write-baseline are exclusive");
+    {
+        const auto known = analysisNames();
+        for (const auto &p : opts.passes)
+            if (std::find(known.begin(), known.end(), p) ==
+                known.end())
+                fatal("unknown pass '%s' (see --list-passes)",
+                      p.c_str());
+    }
     return opts;
+}
+
+/** The registry filter this invocation's toggles translate to. */
+std::vector<std::string>
+selectedPasses(const CliOptions &cli)
+{
+    if (!cli.passes.empty())
+        return cli.passes;
+    std::vector<std::string> out;
+    if (cli.lint)
+        out = lintPassNames();
+    if (cli.raceCheck)
+        out.push_back("race");
+    if (cli.lockCheck) {
+        out.push_back("lockset");
+        out.push_back("deadlock");
+    }
+    if (cli.audit)
+        out.push_back("audit");
+    return out;
 }
 
 int
 checkOne(const std::string &program, const CliOptions &cli,
          DiagnosticSink &sink)
 {
-    const std::string app_name = resolveProgram(program);
+    const std::string app_name = resolveArtifactProgram(program);
     const AppDescriptor &app = findApp(app_name);
     const uint32_t threads = app.effectiveThreads(cli.ncores);
     Program prog = generateProgram(app, resolveInput(cli.inputClass));
@@ -225,18 +289,31 @@ checkOne(const std::string &program, const CliOptions &cli,
     replayPinball(prog, pinball, cli.quantum, &dcfg_builder);
     Dcfg dcfg = dcfg_builder.build();
 
-    const size_t errs_before = sink.errors();
-    if (cli.lint) {
-        LintContext ctx;
-        ctx.prog = &prog;
-        ctx.dcfg = &dcfg;
-        ctx.pinball = &pinball;
-        ctx.flowQuantum = cli.quantum;
-        ProgramLint().run(ctx, sink, cli.passes);
+    AnalysisContext ctx;
+    ctx.lint.prog = &prog;
+    ctx.lint.dcfg = &dcfg;
+    ctx.lint.pinball = &pinball;
+    ctx.lint.flowQuantum = cli.quantum;
+    ctx.replayQuantum = cli.quantum;
+    if (cli.maxFindings)
+        ctx.maxFindings = cli.maxFindings;
+    ctx.audit.expectedThreads = threads;
+    ctx.audit.storeDir = cli.storeDir;
+    // The journal key of a default-configuration run_looppoint run of
+    // this program (the analysis flags are deliberately not part of
+    // the key, so a lint invocation can validate a pipeline run's
+    // journal).
+    RunKey journal_key;
+    if (!cli.journalPath.empty()) {
+        journal_key = makeRunKey(
+            app_name,
+            std::string(inputClassName(resolveInput(cli.inputClass))),
+            threads, cfg.waitPolicy, LoopPointOptions{}.seed,
+            /*constrained=*/false, SimConfig{});
+        ctx.audit.journalPath = cli.journalPath;
+        ctx.audit.journalKey = &journal_key;
     }
-    if (cli.raceCheck)
-        checkGuestRaces(prog, pinball, sink, cli.quantum);
-    return sink.errors() > errs_before ? 1 : 0;
+    return runAnalyses(ctx, sink, selectedPasses(cli)) > 0 ? 1 : 0;
 }
 
 } // namespace
@@ -258,13 +335,53 @@ main(int argc, char **argv)
     try {
         for (const auto &program : cli.programs)
             rc |= checkOne(program, cli, sink);
-        if (cli.json)
-            sink.printJson(std::cout);
-        else
-            sink.printText(std::cout);
-        if (!cli.json)
-            std::printf("%zu finding(s), %zu error(s)\n",
-                        sink.diagnostics().size(), sink.errors());
+
+        std::vector<Diagnostic> diags = sink.take();
+        if (!cli.writeBaselinePath.empty()) {
+            std::ofstream os(cli.writeBaselinePath);
+            if (!os)
+                fatal("cannot write baseline to '%s'",
+                      cli.writeBaselinePath.c_str());
+            writeBaseline(os, diags);
+            std::printf("baseline       : %s\n",
+                        cli.writeBaselinePath.c_str());
+            return 0;
+        }
+        size_t suppressed = 0;
+        if (!cli.baselinePath.empty()) {
+            std::ifstream is(cli.baselinePath);
+            if (!is)
+                fatal("cannot read baseline '%s'",
+                      cli.baselinePath.c_str());
+            auto baseline = loadBaseline(is);
+            if (!baseline.ok())
+                fatal("baseline '%s': %s", cli.baselinePath.c_str(),
+                      baseline.error().describe().c_str());
+            suppressed = applyBaseline(diags, baseline.value());
+        }
+        size_t errors = 0;
+        for (const auto &d : diags)
+            if (d.severity == Severity::Error)
+                ++errors;
+        rc = errors > 0 ? 1 : 0;
+
+        if (!cli.sarifPath.empty()) {
+            std::ofstream os(cli.sarifPath);
+            if (!os)
+                fatal("cannot write SARIF to '%s'",
+                      cli.sarifPath.c_str());
+            printDiagnosticsSarif(os, diags);
+        }
+        if (cli.json) {
+            printDiagnosticsJson(std::cout, diags);
+        } else {
+            printDiagnosticsText(std::cout, diags);
+            std::printf("%zu finding(s), %zu error(s)",
+                        diags.size(), errors);
+            if (suppressed)
+                std::printf(", %zu baseline-suppressed", suppressed);
+            std::printf("\n");
+        }
     } catch (const FatalError &e) {
         logError("lp_lint: %s", e.what());
         return 3;

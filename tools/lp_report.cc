@@ -529,6 +529,9 @@ reportCampaign(const Options &opt)
         std::string job, uarch, input;
         double threads = 0, chosenK = 0, regions = 0, coverage = 0;
         double errPct = 0, wall = 0;
+        double findings = 0, errors = 0, warnings = 0;
+        double auditFindings = 0;
+        bool haveAnalysis = false;
         bool simHit = false, fullsimHit = false, analysisHit = false;
         double hits = 0, misses = 0, bytesDeduped = 0, bytesRead = 0;
         double bytesStored = 0;
@@ -569,6 +572,13 @@ reportCampaign(const Options &opt)
                             flag("cluster");
             r.simHit = flag("sim");
             r.fullsimHit = flag("fullsim");
+        }
+        if (const JsonValue *an = doc->find("analysis")) {
+            r.haveAnalysis = true;
+            r.findings = an->numberOr("findings", 0);
+            r.errors = an->numberOr("errors", 0);
+            r.warnings = an->numberOr("warnings", 0);
+            r.auditFindings = an->numberOr("auditFindings", 0);
         }
         if (const JsonValue *st = doc->find("store")) {
             r.hits = st->numberOr("hits", 0);
@@ -619,6 +629,22 @@ reportCampaign(const Options &opt)
     std::printf("stage reuse    : analysis served from store in "
                 "%zu/%zu job(s), region sims in %zu/%zu\n",
                 analysis_hits, rows.size(), sim_hits, rows.size());
+    double findings = 0, errors = 0, warnings = 0, audit = 0;
+    size_t have_analysis = 0;
+    for (const auto &r : rows) {
+        if (!r.haveAnalysis)
+            continue;
+        ++have_analysis;
+        findings += r.findings;
+        errors += r.errors;
+        warnings += r.warnings;
+        audit += r.auditFindings;
+    }
+    if (have_analysis)
+        std::printf("analysis       : %.0f finding(s) across %zu "
+                    "job(s) (%.0f error(s), %.0f warning(s), %.0f "
+                    "audit finding(s))\n",
+                    findings, have_analysis, errors, warnings, audit);
     return bad ? 1 : 0;
 }
 

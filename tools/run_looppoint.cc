@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "analysis/diagnostic.hh"
+#include "analysis/experiment_audit.hh"
+#include "analysis/sarif.hh"
 #include "core/experiment.hh"
 #include "exec/driver.hh"
 #include "obs/metrics.hh"
@@ -55,6 +57,12 @@ struct CliOptions
     bool fullSim = true;
     bool lint = false;
     bool raceCheck = false;
+    bool lockCheck = false;
+    bool audit = false;
+    /** Per-pass cap on reported findings (0 = pass default). */
+    uint32_t maxFindings = 0;
+    /** Write analysis findings as SARIF 2.1.0 to this path. */
+    std::string sarifPath;
     uint32_t regionRetries = 0;
     std::string faultSpec;
     std::string journalPath;
@@ -102,6 +110,18 @@ usage()
         "                       over the program and its DCFG\n"
         "      --race-check     replay with the happens-before race\n"
         "                       detector attached\n"
+        "      --lock-check     replay with the lockset (Eraser-style)\n"
+        "                       and lock-order deadlock detectors\n"
+        "                       attached\n"
+        "      --audit          after the run, statically cross-check\n"
+        "                       the pipeline artifacts (markers vs.\n"
+        "                       DCFG, cluster-weight closure, journal\n"
+        "                       and store integrity) without\n"
+        "                       re-simulating\n"
+        "      --max-findings=N cap each analysis pass at N reported\n"
+        "                       findings (default: pass-specific, 32)\n"
+        "      --sarif=PATH     also write the analysis findings as\n"
+        "                       SARIF 2.1.0 to PATH\n"
         "      --force          start a new end-to-end run (accepted\n"
         "                       for artifact compatibility; runs are\n"
         "                       always fresh here)\n"
@@ -236,6 +256,16 @@ parseCli(int argc, char **argv)
             opts.lint = true;
         } else if (arg == "--race-check") {
             opts.raceCheck = true;
+        } else if (arg == "--lock-check") {
+            opts.lockCheck = true;
+        } else if (arg == "--audit") {
+            opts.audit = true;
+        } else if (parseArg(argc, argv, i, "", "--max-findings",
+                            &value)) {
+            opts.maxFindings =
+                static_cast<uint32_t>(std::stoul(value));
+        } else if (parseArg(argc, argv, i, "", "--sarif", &value)) {
+            opts.sarifPath = value;
         } else if (parseArg(argc, argv, i, "", "--region-retries",
                             &value)) {
             opts.regionRetries =
@@ -305,6 +335,9 @@ runNative(const std::string &app_name, const CliOptions &cli)
     return 0;
 }
 
+/** Findings of every program this invocation ran, for --sarif. */
+std::vector<Diagnostic> g_sarifDiags;
+
 int
 runOne(const std::string &program, const CliOptions &cli)
 {
@@ -332,6 +365,9 @@ runOne(const std::string &program, const CliOptions &cli)
         cfg.sim.coreType = CoreType::InOrder;
     cfg.sim.analysis.lint = cli.lint;
     cfg.sim.analysis.raceCheck = cli.raceCheck;
+    cfg.sim.analysis.lockCheck = cli.lockCheck;
+    cfg.sim.analysis.audit = cli.audit;
+    cfg.sim.analysis.maxFindings = cli.maxFindings;
     cfg.sim.regionRetries = cli.regionRetries;
     cfg.sim.backend = cli.backend == "procs" ? ExecBackendKind::Procs
                                              : ExecBackendKind::Pool;
@@ -348,6 +384,8 @@ runOne(const std::string &program, const CliOptions &cli)
         cfg.loopPoint.sliceSizePerThread = 25'000;
 
     ExperimentResult r = runExperiment(cfg);
+    if (cli.audit)
+        auditExperiment(cfg, r);
 
     std::printf("profiling      : %zu slices, %llu filtered "
                 "instructions\n",
@@ -413,12 +451,19 @@ runOne(const std::string &program, const CliOptions &cli)
                 r.theoreticalParallelSpeedup);
 
     const auto &diags = r.analysis.diagnostics;
-    if (cli.lint || cli.raceCheck || !diags.empty()) {
+    if (!cli.sarifPath.empty())
+        g_sarifDiags.insert(g_sarifDiags.end(), diags.begin(),
+                            diags.end());
+    if (cli.lint || cli.raceCheck || cli.lockCheck || cli.audit ||
+        !diags.empty()) {
         printDiagnosticsText(std::cout, diags);
         size_t errors = 0;
         for (const auto &d : diags)
             if (d.severity == Severity::Error)
                 ++errors;
+        if (cli.audit)
+            std::printf("audit          : %zu finding(s)\n",
+                        r.auditFindings);
         std::printf("analysis       : %zu finding(s), %zu error(s)\n\n",
                     diags.size(), errors);
         if (errors > 0)
@@ -464,6 +509,19 @@ writeObsOutputs(const CliOptions &cli)
             else
                 MetricsRegistry::global().printJson(os);
             std::printf("metrics        : %s\n", p.c_str());
+        }
+    }
+    if (!cli.sarifPath.empty()) {
+        std::ofstream os(cli.sarifPath);
+        if (!os) {
+            logError("cannot write SARIF to '%s'",
+                     cli.sarifPath.c_str());
+            rc = 3;
+        } else {
+            sortDiagnosticsCanonical(g_sarifDiags);
+            printDiagnosticsSarif(os, g_sarifDiags);
+            std::printf("sarif          : %s (%zu finding(s))\n",
+                        cli.sarifPath.c_str(), g_sarifDiags.size());
         }
     }
     return rc;
