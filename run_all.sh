@@ -45,6 +45,14 @@
 # two-point lp_campaign must reuse the analysis prefix and skip
 # completed jobs on re-invocation.
 #
+# With --campaign-smoke the campaign supervisor is exercised end to
+# end: a small matrix runs with injected job faults (crash, wedge,
+# corrupt-result), the supervisor is SIGTERM'd mid-campaign with a job
+# wedged, and a restart must finish the sweep with exactly-once
+# accounting (one ok per job in the journal) and a campaign.json
+# byte-identical to an uninterrupted reference run; a watermark-GC
+# pass over the shared store must fire without evicting live objects.
+#
 # With --analysis-smoke the analysis suite is exercised end to end:
 # the full pass set (lint + race + lockset/deadlock + audit) runs over
 # every bundled workload and must report zero warning/error findings,
@@ -177,7 +185,7 @@ if [ "$1" = "--store-smoke" ]; then
     echo "== store smoke: cold populate, warm zero-recompute =="
     cmake -B build -S . || exit 1
     cmake --build build -j --target run_looppoint lp_store_tool \
-        lp_campaign lp_report lp_tests || exit 1
+        lp_campaign_tool lp_report lp_tests || exit 1
     lp=build/tools/run_looppoint
     common="-p spec-roms-1 -i train -j 4"
     store=$(mktemp -d /tmp/lp_store_smoke.XXXXXX)
@@ -197,7 +205,7 @@ if [ "$1" = "--store-smoke" ]; then
         $lp $common --store="$store/s" > "$out.warm.txt"
         rc=$?
         [ $rc -eq 0 ] || { echo "store-smoke FAIL: warm run exited $rc (want 0)"; exit 1; }
-        grep -q '0 miss(es), 0 publish(es), 0 corrupt, regions cached, fullsim cached' \
+        grep -q '0 miss(es), 0 publish(es), 0 failed, 0 corrupt, regions cached, fullsim cached' \
             "$out.warm.txt" || {
             echo "store-smoke FAIL: warm run recomputed something"; exit 1; }
         if ! diff <(grep -vE "$filter" "$out.cold.txt") \
@@ -262,6 +270,117 @@ if [ "$1" = "--store-smoke" ]; then
         'Sha1|Fingerprint|ArtifactStore|StageKeys|StorePipeline' || exit 1
     rm -rf "$store" "$out".*.txt
     echo "store-smoke OK"
+    exit 0
+fi
+
+if [ "$1" = "--campaign-smoke" ]; then
+    echo "== campaign smoke: supervised matrix, injected job faults =="
+    cmake -B build -S . || exit 1
+    cmake --build build -j --target lp_campaign_tool lp_report lp_tests || exit 1
+    camp=$(mktemp -d /tmp/lp_campaign_smoke.XXXXXX)
+    out=/tmp/lp_campaign_smoke
+    matrix="--apps=demo-matrix-1 --inputs=test --threads=2,4 \
+        --uarch=baseline,big-l2 --no-fullsim \
+        --backoff-base=0.05 --backoff-cap=0.2"
+    norm() {
+        sed -E -e 's/"wallSeconds": [0-9.eE+-]+/"wallSeconds": 0/g' \
+               -e 's/"attempts": [0-9]+/"attempts": 0/g' \
+               -e 's/"store": "[^"]*"/"store": "STORE"/' "$1"
+    }
+    # shellcheck disable=SC2086
+    {
+        # Reference: the same matrix, uninterrupted and fault-free.
+        build/tools/lp_campaign $matrix --out="$camp/ref" \
+            --store="$camp/ref/store" > "$out.ref.txt"
+        rc=$?
+        [ $rc -eq 0 ] || { echo "campaign-smoke FAIL: reference run exited $rc (want 0)"; exit 1; }
+        [ "$(grep -c '^\[run \]' "$out.ref.txt")" = 4 ] || {
+            echo "campaign-smoke FAIL: reference run did not launch 4 jobs"; exit 1; }
+
+        # Supervised run: job 0 crashes once, job 2 publishes a corrupt
+        # result once (both must cost one attempt each), and job 3
+        # wedges — with the watchdog parked far out, the supervisor is
+        # deterministically stuck in job 3 when we interrupt it.
+        build/tools/lp_campaign $matrix --out="$camp/sup" \
+            --store="$camp/sup/store" --job-timeout=60 --kill-grace=1 \
+            --inject-fault='job:index=0,kind=crash,times=1;job:index=2,kind=corrupt-result,times=1;job:index=3,kind=wedge,times=1' \
+            > "$out.sup1.txt" 2>&1 &
+        suppid=$!
+        jnl="$camp/sup/campaign.journal"
+        for _ in $(seq 1 300); do
+            grep -q 'idx=3 .*event=launch' "$jnl" 2>/dev/null && break
+            sleep 0.1
+        done
+        grep -q 'idx=3 .*event=launch' "$jnl" || {
+            echo "campaign-smoke FAIL: job 3 never launched"; exit 1; }
+        # First signal drains; the wedged child never finishes, so the
+        # second kills it, journals the kill, and flushes state.
+        kill -TERM $suppid
+        sleep 0.5
+        kill -TERM $suppid
+        wait $suppid
+        rc=$?
+        [ $rc -eq 4 ] || { echo "campaign-smoke FAIL: interrupted supervisor exited $rc (want 4)"; exit 1; }
+        grep -q 'idx=3 .*event=killed' "$jnl" || {
+            echo "campaign-smoke FAIL: the killed wedge was not journaled"; exit 1; }
+        [ "$(grep -c 'event=ok' "$jnl")" = 3 ] || {
+            echo "campaign-smoke FAIL: jobs 0-2 did not complete before the interrupt"; exit 1; }
+        grep -q 'event=fail-transient' "$jnl" || {
+            echo "campaign-smoke FAIL: the injected crash was not journaled"; exit 1; }
+        grep -q 'event=stale' "$jnl" || {
+            echo "campaign-smoke FAIL: the corrupt result was not detected"; exit 1; }
+
+        # Restart (no faults: the journal identity excludes supervision
+        # knobs): completed jobs are adopted, job 3 runs exactly once.
+        build/tools/lp_campaign $matrix --out="$camp/sup" \
+            --store="$camp/sup/store" > "$out.sup2.txt" 2>&1
+        rc=$?
+        [ $rc -eq 0 ] || { echo "campaign-smoke FAIL: restarted supervisor exited $rc (want 0)"; exit 1; }
+        [ "$(grep -c 'complete per journal' "$out.sup2.txt")" = 3 ] || {
+            echo "campaign-smoke FAIL: restart did not adopt 3 completed jobs"; exit 1; }
+        # Exactly-once: one ok per job across both invocations.
+        [ "$(grep -c 'event=ok' "$jnl")" = 4 ] || {
+            echo "campaign-smoke FAIL: not exactly one completion per job"; exit 1; }
+        for idx in 0 1 2 3; do
+            [ "$(grep -c "idx=$idx .*event=ok" "$jnl")" = 1 ] || {
+                echo "campaign-smoke FAIL: job $idx completed other than exactly once"; exit 1; }
+        done
+        # The interrupted-then-resumed campaign summary is byte-stable
+        # against the uninterrupted reference (modulo wall-clock and
+        # attempt counts, which faults legitimately change).
+        if ! diff <(norm "$camp/ref/campaign.json") \
+                  <(norm "$camp/sup/campaign.json"); then
+            echo "campaign-smoke FAIL: resumed campaign.json differs from reference"; exit 1
+        fi
+        grep -q '"state": "done"' "$camp/sup/status.json" || {
+            echo "campaign-smoke FAIL: status.json did not reach its terminal state"; exit 1; }
+        build/tools/lp_report --campaign="$camp/sup" > "$out.report.txt" || {
+            echo "campaign-smoke FAIL: lp_report --campaign failed"; exit 1; }
+        grep -q 'supervisor (done)' "$out.report.txt" || {
+            echo "campaign-smoke FAIL: report did not render the supervisor status"; exit 1; }
+
+        # Watermark GC over the shared reference store: an absurd
+        # watermark forces GC before every launch; with the default
+        # target only orphans go, so the fresh campaign is still
+        # served from the store afterwards.
+        echo "== campaign smoke: watermark GC keeps live objects =="
+        build/tools/lp_campaign $matrix --out="$camp/gc" \
+            --store="$camp/ref/store" \
+            --gc-watermark=1152921504606846976 > "$out.gc.txt" 2>&1
+        rc=$?
+        [ $rc -eq 0 ] || { echo "campaign-smoke FAIL: GC run exited $rc (want 0)"; exit 1; }
+        grep -q 'running store gc' "$out.gc.txt" || {
+            echo "campaign-smoke FAIL: watermark did not trigger GC"; exit 1; }
+        grep -q '"record": true' \
+            "$camp/gc/demo-matrix-1-test-t2-baseline/result.json" || {
+            echo "campaign-smoke FAIL: GC evicted live store objects"; exit 1; }
+    } || exit 1
+
+    echo "== campaign smoke: supervisor test subset =="
+    ctest --test-dir build --output-on-failure -R \
+        'Supervisor|CampaignJournal|CampaignModel|Backoff|FailureClassify|JobFaults' || exit 1
+    rm -rf "$camp" "$out".*.txt
+    echo "campaign-smoke OK"
     exit 0
 fi
 

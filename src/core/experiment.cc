@@ -9,6 +9,7 @@
 #include "obs/trace.hh"
 #include "store/stage_cache.hh"
 #include "util/checksum.hh"
+#include "util/interrupt.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -147,6 +148,20 @@ runExperiment(const ExperimentConfig &cfg)
         for (auto &d : ckpt.diagnostics)
             res.analysis.diagnostics.push_back(std::move(d));
         res.regionMetrics = std::move(ckpt.regionMetrics);
+        // Parked at a region boundary on request: everything that
+        // finished is journaled above, so unwind before any artifact
+        // publish or extrapolation — a partial run must surface as
+        // "resume me" (exit 4), never as a degraded result.
+        if (ckpt.interrupted) {
+            size_t done = 0;
+            for (const auto &o : ckpt.regionOutcomes)
+                done += o.ok ? 1 : 0;
+            throw InterruptedRun(
+                "run interrupted at a region boundary with " +
+                std::to_string(done) + " of " +
+                std::to_string(res.analysis.regions.size()) +
+                " regions complete; rerun with --resume to continue");
+        }
         // Publish only complete, fault-free results: a degraded run's
         // holes must not be served to later runs as the real thing.
         if (stage_cache && !sim_key.empty() && res.coverage == 1.0 &&

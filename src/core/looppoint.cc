@@ -19,6 +19,7 @@
 #include "exec/driver.hh"
 #include "profile/slicer.hh"
 #include "store/stage_cache.hh"
+#include "util/interrupt.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -595,6 +596,24 @@ LoopPointPipeline::simulateRegionsCheckpointed(const LoopPointResult &lp,
     }
 
     for (size_t idx : order) {
+        // A shutdown request — supervisor SIGTERM/SIGINT, or the
+        // injected `kind=interrupt` fault standing in for one — parks
+        // the warming pass here, at the region boundary: regions
+        // already submitted finish and journal below, nothing new
+        // launches, and the caller reports the run as resumable
+        // rather than degraded.
+        if (sim_cfg.faults.simFault(static_cast<uint32_t>(idx), 0) ==
+            FaultSpec::Kind::Interrupt)
+            requestShutdown();
+        if (shutdownRequested()) {
+            out.interrupted = true;
+            sink.warning("fault-tolerance",
+                         "region " + std::to_string(idx),
+                         "shutdown requested: warming parked at this "
+                         "region boundary (resume to continue)");
+            break;
+        }
+
         const LoopPointRegion &region = lp.regions[idx];
 
         // Advance the warming pass to the region start. This happens

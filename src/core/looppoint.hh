@@ -256,6 +256,10 @@ class LoopPointPipeline
         double coverage = 1.0;
         /** Failure/retry findings (pass "fault-tolerance"). */
         std::vector<Diagnostic> diagnostics;
+        /** True when a shutdown request parked the warming pass at a
+         * region boundary: the remaining regions were never launched
+         * and the run must be resumed, not trusted as degraded. */
+        bool interrupted = false;
 
         /** Regions with no usable metrics after all retries. */
         size_t failedRegions() const;

@@ -293,27 +293,51 @@ ArtifactStore::publish(const std::string &stage, const std::string &key,
             .counter("store.bytes_deduped")
             .add(payload.size());
     } else {
+        // A failed publish is a cache miss, not a run failure: the
+        // caller already holds the computed artifact, so an ENOSPC or
+        // short write here must never abort the run. Clean up the tmp
+        // file, count the failure, and return without binding the
+        // manifest — the next run recomputes and tries again.
         char suffix[48];
         std::snprintf(suffix, sizeof(suffix), ".tmp.%ld",
                       static_cast<long>(::getpid()));
         const std::string tmp = path + suffix;
         uint64_t framed_bytes = 0;
+        bool wrote = false;
         {
             std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-            if (!os)
-                fatal("artifact store: cannot write '%s': %s",
-                      tmp.c_str(), std::strerror(errno));
-            writeFramedArtifact(os, kObjectMagicBase, kObjectVersion,
-                                payload);
-            os.flush();
-            if (!os)
-                fatal("artifact store: short write to '%s'",
-                      tmp.c_str());
-            framed_bytes = static_cast<uint64_t>(os.tellp());
+            if (!os) {
+                logError("artifact store: cannot write '%s': %s "
+                         "(publish skipped)",
+                         tmp.c_str(), std::strerror(errno));
+            } else {
+                writeFramedArtifact(os, kObjectMagicBase,
+                                    kObjectVersion, payload);
+                os.flush();
+                if (!os) {
+                    logError("artifact store: short write to '%s' "
+                             "(publish skipped)", tmp.c_str());
+                } else {
+                    framed_bytes = static_cast<uint64_t>(os.tellp());
+                    wrote = true;
+                }
+            }
         }
-        if (std::rename(tmp.c_str(), path.c_str()) != 0)
-            fatal("artifact store: cannot publish '%s': %s",
-                  path.c_str(), std::strerror(errno));
+        if (wrote && std::rename(tmp.c_str(), path.c_str()) != 0) {
+            logError("artifact store: cannot publish '%s': %s "
+                     "(publish skipped)",
+                     path.c_str(), std::strerror(errno));
+            wrote = false;
+        }
+        if (!wrote) {
+            ::unlink(tmp.c_str());
+            nFailedPublishes.fetch_add(1, std::memory_order_relaxed);
+            MetricsRegistry::global()
+                .counter("store.publish_failed")
+                .add();
+            span.arg("outcome", "publish-failed");
+            return hash;
+        }
         nBytesStored.fetch_add(framed_bytes,
                                std::memory_order_relaxed);
         MetricsRegistry::global()
@@ -490,6 +514,8 @@ ArtifactStore::stats() const
     s.misses = nMisses.load(std::memory_order_relaxed);
     s.publishes = nPublishes.load(std::memory_order_relaxed);
     s.corruptEntries = nCorrupt.load(std::memory_order_relaxed);
+    s.failedPublishes =
+        nFailedPublishes.load(std::memory_order_relaxed);
     s.bytesStored = nBytesStored.load(std::memory_order_relaxed);
     s.bytesDeduped = nBytesDeduped.load(std::memory_order_relaxed);
     s.bytesRead = nBytesRead.load(std::memory_order_relaxed);

@@ -55,6 +55,11 @@ struct StoreStats
     uint64_t publishes = 0;
     /** Objects that failed their integrity check and were evicted. */
     uint64_t corruptEntries = 0;
+    /** Publishes abandoned because the object could not be written
+     * (ENOSPC, short write, failed rename). The tmp file is removed,
+     * no manifest binding is made, and the run continues — the next
+     * run recomputes and retries. */
+    uint64_t failedPublishes = 0;
     /** Bytes written for new objects (framed size). */
     uint64_t bytesStored = 0;
     /** Payload bytes a publish did NOT write because the content hash
@@ -97,6 +102,12 @@ class ArtifactStore
      * Store `payload` under its content hash and bind (stage, key) to
      * it in the manifest. Re-publishing identical content is free
      * (counted as deduplication). Returns the content hash.
+     *
+     * A write failure (ENOSPC, short write, failed rename) does not
+     * abort: it is logged, counted in failedPublishes, the tmp file
+     * is removed, and the hash is returned without a manifest binding
+     * — so downstream keys still chain correctly while the next run
+     * recomputes and retries the publish.
      */
     std::string publish(const std::string &stage, const std::string &key,
                         const std::string &payload);
@@ -168,7 +179,8 @@ class ArtifactStore
     std::map<std::pair<std::string, std::string>, Entry> manifest;
 
     std::atomic<uint64_t> nHits{0}, nMisses{0}, nPublishes{0},
-        nCorrupt{0}, nBytesStored{0}, nBytesDeduped{0}, nBytesRead{0};
+        nCorrupt{0}, nFailedPublishes{0}, nBytesStored{0},
+        nBytesDeduped{0}, nBytesRead{0};
 };
 
 } // namespace looppoint

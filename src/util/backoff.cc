@@ -1,0 +1,73 @@
+#include "backoff.hh"
+
+#include <sys/wait.h>
+
+#include <algorithm>
+
+#include "rng.hh"
+
+namespace looppoint {
+
+const char *
+failureClassName(FailureClass c)
+{
+    switch (c) {
+      case FailureClass::Success:     return "success";
+      case FailureClass::Degraded:    return "degraded";
+      case FailureClass::Permanent:   return "permanent";
+      case FailureClass::Transient:   return "transient";
+      case FailureClass::Interrupted: return "interrupted";
+    }
+    return "unknown";
+}
+
+FailureClass
+classifyWaitStatus(int wait_status)
+{
+    if (WIFEXITED(wait_status)) {
+        switch (WEXITSTATUS(wait_status)) {
+          case 0: return FailureClass::Success;
+          case 1: return FailureClass::Degraded;
+          case 2: return FailureClass::Permanent;
+          case 3: return FailureClass::Transient;
+          case 4: return FailureClass::Interrupted;
+          default: return FailureClass::Permanent;
+        }
+    }
+    // Signal deaths (including watchdog SIGKILL and OOM kills) and any
+    // stop/continue state we did not ask for: retryable.
+    return FailureClass::Transient;
+}
+
+double
+BackoffPolicy::delaySeconds(uint32_t retry) const
+{
+    double raw = std::max(0.0, baseSeconds);
+    double mult = std::max(1.0, multiplier);
+    double cap = std::max(0.0, capSeconds);
+    for (uint32_t i = 0; i < retry; i++) {
+        raw *= mult;
+        if (raw >= cap)
+            break;
+    }
+    if (raw >= cap)
+        return cap;
+
+    double frac = std::clamp(jitterFraction, 0.0, 1.0);
+    if (frac > 0.0) {
+        uint64_t state = hashCombine(seed, retry);
+        double u = (splitMix64(state) >> 11) * 0x1.0p-53; // [0, 1)
+        raw *= 1.0 + frac * (u - 0.5);
+    }
+    return std::min(raw, cap);
+}
+
+BackoffPolicy
+BackoffPolicy::withSeed(uint64_t new_seed) const
+{
+    BackoffPolicy p = *this;
+    p.seed = new_seed;
+    return p;
+}
+
+} // namespace looppoint

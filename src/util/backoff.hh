@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Retry policy for supervised job execution: transient-vs-permanent
+ * failure classification from a waitpid() status, and exponential
+ * backoff with deterministic seeded jitter.
+ *
+ * The campaign supervisor runs each job in a forked child; when the
+ * child stops, everything it knows is the wait status. The classifier
+ * maps that status onto the shared exit-code contract (0 success,
+ * 1 degraded, 2 usage, 3 runtime failure, 4 interrupted at a region
+ * boundary) plus the signal dispositions: any signal death — SIGSEGV
+ * from a real crash, SIGKILL from the OOM killer or the watchdog —
+ * is transient (a retry from the same inputs may well succeed),
+ * while usage errors and unknown exit codes are permanent (the same
+ * command line will fail the same way forever).
+ *
+ * Backoff is exponential with a hard cap and multiplicative jitter.
+ * The jitter is *seeded*, not sampled: delay(retry) is a pure
+ * function of (policy, retry), so a test can assert the exact
+ * schedule and a resumed supervisor recomputes the same delays the
+ * crashed one would have used. Once the uncapped delay reaches the
+ * cap, jitter is dropped and the cap is returned exactly — saturation
+ * is a fixed point, not a band.
+ */
+
+#ifndef LOOPPOINT_UTIL_BACKOFF_HH
+#define LOOPPOINT_UTIL_BACKOFF_HH
+
+#include <cstdint>
+
+namespace looppoint {
+
+/** Why a supervised child stopped, classified from its wait status. */
+enum class FailureClass : uint8_t
+{
+    Success,     ///< exit 0: full-coverage run
+    Degraded,    ///< exit 1: completed with reduced coverage/findings
+    Permanent,   ///< exit 2 or an unknown code: retrying cannot help
+    Transient,   ///< exit 3 or any signal death: worth retrying
+    Interrupted, ///< exit 4: stopped at a region boundary on request
+};
+
+/** Stable lowercase name (journal / status.json vocabulary). */
+const char *failureClassName(FailureClass c);
+
+/**
+ * Classify a status filled in by waitpid(). See the file comment for
+ * the table; WIFSTOPPED/WIFCONTINUED (not requested by the
+ * supervisor) conservatively classify as Transient.
+ */
+FailureClass classifyWaitStatus(int wait_status);
+
+/** See file comment. */
+struct BackoffPolicy
+{
+    /** Delay before the first retry (uncapped, pre-jitter). */
+    double baseSeconds = 0.5;
+    /** Growth factor per retry (>= 1). */
+    double multiplier = 2.0;
+    /** Hard ceiling; saturated delays return exactly this. */
+    double capSeconds = 60.0;
+    /**
+     * Width of the multiplicative jitter band: the pre-cap delay is
+     * scaled by 1 + jitterFraction * (u - 0.5) with u in [0, 1)
+     * derived from (seed, retry). 0 disables jitter.
+     */
+    double jitterFraction = 0.5;
+    /** Jitter stream selector (e.g. per-job: combine with job index). */
+    uint64_t seed = 0;
+
+    /**
+     * The delay before retry `retry` (0-based: retry 0 follows the
+     * first failure). Deterministic for a fixed (policy, retry).
+     */
+    double delaySeconds(uint32_t retry) const;
+
+    /** This policy with its jitter stream re-seeded (per-job use). */
+    BackoffPolicy withSeed(uint64_t new_seed) const;
+};
+
+} // namespace looppoint
+
+#endif // LOOPPOINT_UTIL_BACKOFF_HH

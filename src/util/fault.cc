@@ -52,6 +52,7 @@ parseClause(const std::string &clause)
 
     FaultSpec spec;
     bool have_region = false, have_byte = false, have_kind = false;
+    bool have_index = false;
     for (const std::string &kv : split(clause.substr(colon + 1), ',')) {
         const size_t eq = kv.find('=');
         if (eq == std::string::npos)
@@ -63,6 +64,10 @@ parseClause(const std::string &clause)
             spec.region = static_cast<uint32_t>(
                 parseUint(clause, key, value));
             have_region = true;
+        } else if (key == "index") {
+            spec.region = static_cast<uint32_t>(
+                parseUint(clause, key, value));
+            have_index = true;
         } else if (key == "kind") {
             have_kind = true;
             if (value == "throw")
@@ -73,9 +78,16 @@ parseClause(const std::string &clause)
                 spec.kind = FaultSpec::Kind::Kill;
             else if (value == "wedge")
                 spec.kind = FaultSpec::Kind::Wedge;
+            else if (value == "interrupt")
+                spec.kind = FaultSpec::Kind::Interrupt;
+            else if (value == "crash")
+                spec.kind = FaultSpec::Kind::Crash;
+            else if (value == "corrupt-result")
+                spec.kind = FaultSpec::Kind::CorruptResult;
             else
                 fatal("--inject-fault: unknown kind '%s' (expected "
-                      "throw, diverge, kill, or wedge)", value.c_str());
+                      "throw, diverge, kill, wedge, interrupt, crash, "
+                      "or corrupt-result)", value.c_str());
         } else if (key == "times") {
             spec.times = static_cast<uint32_t>(
                 parseUint(clause, key, value));
@@ -102,8 +114,11 @@ parseClause(const std::string &clause)
                   clause.c_str());
         if (!have_kind)
             spec.kind = FaultSpec::Kind::Throw;
-        if (spec.kind == FaultSpec::Kind::FlipByte)
-            fatal("--inject-fault: sim clause '%s' cannot flip bytes",
+        if (spec.kind == FaultSpec::Kind::FlipByte ||
+            spec.kind == FaultSpec::Kind::Crash ||
+            spec.kind == FaultSpec::Kind::CorruptResult)
+            fatal("--inject-fault: sim clause '%s' expects kind "
+                  "throw, diverge, kill, wedge, or interrupt",
                   clause.c_str());
     } else if (site == "corrupt") {
         spec.site = FaultSpec::Site::Corrupt;
@@ -111,9 +126,21 @@ parseClause(const std::string &clause)
         if (!have_byte)
             fatal("--inject-fault: corrupt clause '%s' needs byte=N "
                   "or byte=rand,seed=S", clause.c_str());
+    } else if (site == "job") {
+        spec.site = FaultSpec::Site::Job;
+        if (!have_index)
+            fatal("--inject-fault: job clause '%s' needs index=N",
+                  clause.c_str());
+        if (!have_kind)
+            spec.kind = FaultSpec::Kind::Crash;
+        if (spec.kind != FaultSpec::Kind::Crash &&
+            spec.kind != FaultSpec::Kind::Wedge &&
+            spec.kind != FaultSpec::Kind::CorruptResult)
+            fatal("--inject-fault: job clause '%s' expects kind "
+                  "crash, wedge, or corrupt-result", clause.c_str());
     } else {
-        fatal("--inject-fault: unknown site '%s' (expected sim or "
-              "corrupt)", site.c_str());
+        fatal("--inject-fault: unknown site '%s' (expected sim, "
+              "corrupt, or job)", site.c_str());
     }
     return spec;
 }
@@ -139,6 +166,19 @@ FaultPlan::simFault(uint32_t region, uint32_t attempt) const
 {
     for (const FaultSpec &spec : clauses) {
         if (spec.site != FaultSpec::Site::Sim || spec.region != region)
+            continue;
+        if (spec.times != 0 && attempt >= spec.times)
+            continue;
+        return spec.kind;
+    }
+    return std::nullopt;
+}
+
+std::optional<FaultSpec::Kind>
+FaultPlan::jobFault(uint32_t index, uint32_t attempt) const
+{
+    for (const FaultSpec &spec : clauses) {
+        if (spec.site != FaultSpec::Site::Job || spec.region != index)
             continue;
         if (spec.times != 0 && attempt >= spec.times)
             continue;

@@ -24,8 +24,18 @@
  *                                     coordinator's --worker-timeout
  *                                     kills it; under the pool backend
  *                                     it degenerates to kind=throw
+ *   sim:region=3,kind=interrupt       a shutdown request fires before
+ *                                     region 3 warms: the run parks at
+ *                                     the boundary and exits 4 (the
+ *                                     supervisor-SIGTERM path, minus
+ *                                     the signal)
  *   corrupt:byte=17                   flip byte 17 of an artifact
  *   corrupt:byte=rand,seed=7          flip a seeded-random byte
+ *   job:index=2,kind=crash            campaign job 2 SIGKILLs itself
+ *   job:index=2,kind=wedge,times=1    job 2's first attempt hangs
+ *                                     until the watchdog escalates
+ *   job:index=2,kind=corrupt-result   job 2 writes garbage result.json
+ *                                     but still drops its .done marker
  *
  * The plan is pure data: nothing fires unless the hosting code asks
  * (simFault() in the checkpointed-simulation loop, corrupt() in the
@@ -48,25 +58,31 @@ struct FaultSpec
 {
     enum class Site : uint8_t
     {
-        Sim,    ///< fires inside a region's detailed simulation
-        Corrupt ///< flips a byte of a serialized artifact
+        Sim,     ///< fires inside a region's detailed simulation
+        Corrupt, ///< flips a byte of a serialized artifact
+        Job      ///< fires in a supervised campaign job child
     };
     enum class Kind : uint8_t
     {
-        Throw,   ///< the attempt throws InjectedFault (retryable)
-        Diverge, ///< the end marker becomes unreachable
-        Kill,    ///< InjectedKill aborts the whole phase (not retried)
-        Wedge,   ///< the attempt hangs forever (procs: worker-timeout
-                 ///< territory; pool degenerates to Throw so the
-                 ///< phase still terminates)
-        FlipByte ///< corrupt-site: XOR 0xFF one payload byte
+        Throw,    ///< the attempt throws InjectedFault (retryable)
+        Diverge,  ///< the end marker becomes unreachable
+        Kill,     ///< InjectedKill aborts the whole phase (not retried)
+        Wedge,    ///< the attempt hangs forever (procs: worker-timeout
+                  ///< territory; pool degenerates to Throw so the
+                  ///< phase still terminates; job site: ignores
+                  ///< SIGTERM so the watchdog must escalate)
+        FlipByte, ///< corrupt-site: XOR 0xFF one payload byte
+        Interrupt, ///< sim site: request shutdown at this boundary
+        Crash,     ///< job site: the child SIGKILLs itself
+        CorruptResult ///< job site: garbage result.json + .done marker
     };
 
     Site site = Site::Sim;
     Kind kind = Kind::Throw;
-    /** Sim site: target region index (LoopPointResult::regions). */
+    /** Sim site: target region index (LoopPointResult::regions).
+     * Job site: target job index in matrix order. */
     uint32_t region = 0;
-    /** Sim site: fail only the first `times` attempts; 0 = all. */
+    /** Sim/job site: fail only the first `times` attempts; 0 = all. */
     uint32_t times = 0;
     /** Corrupt site: byte offset to flip (when not randomized). */
     uint64_t byte = 0;
@@ -119,6 +135,13 @@ class FaultPlan
      * the attempt index reaches their budget.
      */
     std::optional<FaultSpec::Kind> simFault(uint32_t region,
+                                            uint32_t attempt) const;
+
+    /**
+     * The job-site fault to apply to `attempt` (0-based) of campaign
+     * job `index`, or nullopt. Same `times` semantics as simFault().
+     */
+    std::optional<FaultSpec::Kind> jobFault(uint32_t index,
                                             uint32_t attempt) const;
 
     /** Apply every corrupt-site clause to `bytes` in order. Offsets

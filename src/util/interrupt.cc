@@ -1,0 +1,61 @@
+#include "interrupt.hh"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace looppoint {
+
+namespace {
+
+std::atomic<int> shutdownRequests{0};
+
+void
+onInterrupt(int signum)
+{
+    int n = shutdownRequests.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n >= 3) {
+        // Give up on cooperative shutdown: die by this signal now.
+        std::signal(signum, SIG_DFL);
+        std::raise(signum);
+    }
+}
+
+} // anonymous namespace
+
+void
+installInterruptHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onInterrupt;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+requestShutdown()
+{
+    shutdownRequests.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+shutdownRequested()
+{
+    return shutdownRequests.load(std::memory_order_relaxed) > 0;
+}
+
+int
+shutdownSignalCount()
+{
+    return shutdownRequests.load(std::memory_order_relaxed);
+}
+
+void
+clearShutdownRequest()
+{
+    shutdownRequests.store(0, std::memory_order_relaxed);
+}
+
+} // namespace looppoint

@@ -21,6 +21,7 @@
 #include "core/run_journal.hh"
 #include "sim/config.hh"
 #include "util/fault.hh"
+#include "util/interrupt.hh"
 #include "util/logging.hh"
 #include "workload/descriptor.hh"
 
@@ -493,6 +494,46 @@ TEST(FaultPipeline, KilledRunResumesBitIdentical)
     auto full = runCheckpointed(clean, &journal2);
     EXPECT_EQ(full.journalHits, lp.regions.size());
     EXPECT_EQ(full.regionMetrics, base.regionMetrics);
+}
+
+TEST(FaultPipeline, InterruptedRunResumesBitIdentical)
+{
+    // The cooperative-interrupt path (supervisor SIGTERM / ctrl-C):
+    // unlike kind=kill, the run parks at a region *boundary* instead
+    // of throwing, flags the result as interrupted, and everything
+    // already simulated is in the journal for the resume.
+    const auto &lp = analyzed().lp;
+    ASSERT_GE(lp.regions.size(), 2u);
+
+    SimConfig clean;
+    clean.jobs = 1;
+    auto base = runCheckpointed(clean);
+
+    uint32_t last = 0;
+    for (uint32_t i = 0; i < lp.regions.size(); ++i)
+        if (lp.regions[i].sliceIndex > lp.regions[last].sliceIndex)
+            last = i;
+
+    const std::string path = journalPath("interruptresume");
+    {
+        RunJournal journal(path, makeKey());
+        SimConfig parked = clean;
+        parked.faults = FaultPlan::parse(
+            "sim:region=" + std::to_string(last) + ",kind=interrupt");
+        auto ckpt = runCheckpointed(parked, &journal);
+        clearShutdownRequest();
+        EXPECT_TRUE(ckpt.interrupted);
+        // Everything before the boundary completed and journaled.
+        EXPECT_EQ(journal.size(), lp.regions.size() - 1);
+    }
+
+    RunJournal journal(path, makeKey());
+    ASSERT_FALSE(journal.load(/*must_exist=*/true).has_value());
+    auto resumed = runCheckpointed(clean, &journal);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.journalHits, lp.regions.size() - 1);
+    EXPECT_EQ(resumed.coverage, 1.0);
+    EXPECT_EQ(resumed.regionMetrics, base.regionMetrics);
 }
 
 TEST(FaultPipeline, JournalFromDifferentMicroarchIsNotReused)

@@ -162,6 +162,41 @@ TEST(ArtifactStore, CorruptObjectEvictedAndRecomputable)
     EXPECT_EQ(store.verify(), 0u);
 }
 
+TEST(ArtifactStore, FailedPublishIsLoggedMissNotFatal)
+{
+    std::string dir = freshStoreDir("failed_publish");
+    ArtifactStore store(dir);
+
+    // Make object writes impossible in a uid-independent way (tests
+    // may run as root, where chmod 0500 would not bite): replace the
+    // objects/ directory with a regular file, so opening
+    // objects/<hash>.tmp.<pid> fails with ENOTDIR — the same code
+    // path ENOSPC and short writes take.
+    std::string objects = dir + "/objects";
+    ASSERT_EQ(std::system(("rm -rf '" + objects + "'").c_str()), 0);
+    { std::ofstream block(objects); ASSERT_TRUE(block.good()); }
+
+    // The publish degrades to a logged miss: hash still returned (the
+    // key chain downstream stays valid), nothing bound, run continues.
+    std::string hash = store.publish("record", "k", "unstorable");
+    EXPECT_EQ(hash, sha1Hex("unstorable"));
+    EXPECT_EQ(store.stats().failedPublishes, 1u);
+    EXPECT_EQ(store.stats().publishes, 0u);
+    EXPECT_EQ(store.stats().bytesStored, 0u);
+    EXPECT_FALSE(store.hashFor("record", "k"));
+    EXPECT_FALSE(store.lookup("record", "k"));
+
+    // Once the disk recovers, the recompute-republish path heals.
+    ASSERT_EQ(std::remove(objects.c_str()), 0);
+    ASSERT_EQ(mkdir(objects.c_str(), 0755), 0);
+    store.publish("record", "k", "unstorable");
+    EXPECT_EQ(store.stats().publishes, 1u);
+    auto hit = store.lookup("record", "k");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->payload, "unstorable");
+    EXPECT_EQ(store.verify(), 0u);
+}
+
 TEST(ArtifactStore, CorruptionEvictsEveryBindingOfTheHash)
 {
     std::string dir = freshStoreDir("corrupt_shared");

@@ -1,74 +1,50 @@
 /**
  * @file
- * lp_campaign: incremental sweep driver over the artifact store.
+ * lp_campaign: supervised sweep driver over the artifact store.
  *
- * Expands a matrix spec (apps x inputs x threads x uarch presets)
- * into one job per combination and runs each end to end through
- * runExperiment with a shared content-addressed store, so everything
- * the sweep points have in common — recording, profiling, clustering
- * of the same (app, input, threads) triple — is computed once and
- * served from the store for every other uarch point. Re-invoking the
- * same campaign is incremental twice over:
- *
- *   job level   a job with a published result (`.done`) is skipped
- *               outright; a job another process holds the `.lock` of
- *               is skipped as running (crashed holders are harmless:
- *               flock dies with its process)
- *   stage level a job that does run skips every pipeline stage whose
- *               store key hits, including the detailed region
- *               simulations themselves
+ * A thin CLI over src/campaign: the matrix spec and execution knobs
+ * parse into a CampaignSpec, the supervision policy (retry budget,
+ * watchdog, backoff, disk watermarks, daemon mode, fault injection)
+ * into SupervisorOptions, and CampaignSupervisor::run() does the rest.
+ * Each job runs in a forked child for crash isolation; see
+ * src/campaign/supervisor.hh for the full supervision model.
  *
  * Layout under --out=DIR:
  *
  *   campaign.json             summary (written last, atomically)
+ *   campaign.journal          supervisor state (crash-safe; restarts
+ *                             adopt completed jobs exactly once)
+ *   status.json               live surface (`lp_report --campaign`)
  *   store/                    the shared store (override: --store)
  *   <job>/result.json         one "lp_campaign_job" document per job
+ *   <job>/journal             per-job region journal (resume-able)
  *   <job>/.done               completion marker (skip-done)
  *   <job>/.lock               flock target (skip-running)
  *
  * Aggregate with `lp_report --campaign=DIR`. Exit codes follow
- * run_looppoint: 0 all jobs ok, 1 some job degraded, 2 usage,
- * 3 runtime failure.
+ * run_looppoint: 0 all jobs ok, 1 some job degraded/failed/parked,
+ * 2 usage, 3 runtime failure, 4 interrupted (drained on SIGINT or
+ * SIGTERM; re-invoke to resume exactly-once from the journal).
  */
 
-#include <fcntl.h>
-#include <sys/file.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "analysis/experiment_audit.hh"
+#include "campaign/campaign.hh"
+#include "campaign/supervisor.hh"
 #include "core/experiment.hh"
-#include "obs/json.hh"
 #include "util/logging.hh"
 
 using namespace looppoint;
 
 namespace {
 
-struct CampaignOptions
+struct CliOptions
 {
-    std::vector<std::string> apps{"demo-matrix-1"};
-    std::vector<std::string> inputs{"test"};
-    std::vector<uint32_t> threads{4};
-    std::vector<std::string> uarchs{"baseline"};
-    std::string outDir;
-    std::string storeDir; ///< default: <outDir>/store
-    uint32_t jobs = 1;
-    std::string backend = "pool";
-    std::string waitPolicy = "passive";
-    uint64_t seed = 42;
-    bool fullSim = true;
-    /** Run the post-job artifact audit and record its findings. */
-    bool audit = false;
+    CampaignSpec spec;
+    SupervisorOptions sup;
 };
 
 void
@@ -92,10 +68,43 @@ usage()
         "  --audit            statically cross-check each job's\n"
         "                     artifacts after it runs; finding counts\n"
         "                     land in result.json\n"
+        "supervision:\n"
+        "  --job-retries=N    extra attempts per failed job\n"
+        "                     (default: 2)\n"
+        "  --job-timeout=SEC  per-attempt wall-clock watchdog; SIGTERM\n"
+        "                     (job parks at the next region boundary\n"
+        "                     and resumes on retry), then SIGKILL after\n"
+        "                     the grace period. 0 disables (default)\n"
+        "  --kill-grace=SEC   SIGTERM -> SIGKILL escalation grace\n"
+        "                     (default: 5)\n"
+        "  --backoff-base=SEC first retry delay (default: 0.5);\n"
+        "                     doubles per retry with deterministic\n"
+        "                     per-job jitter\n"
+        "  --backoff-cap=SEC  retry delay ceiling (default: 60)\n"
+        "  --gc-watermark=BYTES  run store GC before a launch when\n"
+        "                     free disk under the store drops below\n"
+        "                     this; 0 disables (default)\n"
+        "  --gc-floor=BYTES   park the queue when free disk is still\n"
+        "                     below this after GC; 0 disables\n"
+        "  --gc-target=BYTES  GC size target (default: unlimited, so\n"
+        "                     GC only collects orphaned objects and\n"
+        "                     never evicts live results)\n"
+        "  --daemon           keep running after a pass: rescan the\n"
+        "                     matrix on SIGHUP or --rescan interval,\n"
+        "                     heartbeat status.json while idle\n"
+        "  --rescan=SEC       daemon rescan interval (default: SIGHUP\n"
+        "                     only)\n"
+        "  --inject-fault=SPEC  deterministic job faults, e.g.\n"
+        "                     job:index=2,kind=crash|wedge|\n"
+        "                     corrupt-result[,times=M]; ';'-separated\n"
         "  -h, --help         this message\n"
         "\nJobs are grouped by (app, input, threads) so consecutive\n"
-        "uarch points reuse the analysis stages from the store; jobs\n"
-        "already done (or running elsewhere) are skipped.\n",
+        "uarch points reuse the analysis stages from the store. Each\n"
+        "job runs in a forked child: crashes cost one attempt, never\n"
+        "the sweep. Completed jobs are adopted from campaign.journal\n"
+        "on restart (exactly-once); SIGINT/SIGTERM drains at the next\n"
+        "job boundary (exit 4, resumable), a second signal kills the\n"
+        "running child first.\n",
         uarchPresetNames().c_str());
 }
 
@@ -135,10 +144,12 @@ parseArg(int argc, char **argv, int &i, const char *long_name,
     return false;
 }
 
-CampaignOptions
+CliOptions
 parseCli(int argc, char **argv)
 {
-    CampaignOptions opts;
+    CliOptions opts;
+    CampaignSpec &spec = opts.spec;
+    SupervisorOptions &sup = opts.sup;
     std::string value;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -146,298 +157,71 @@ parseCli(int argc, char **argv)
             usage();
             std::exit(0);
         } else if (parseArg(argc, argv, i, "--apps", &value)) {
-            opts.apps = splitCommas(value);
+            spec.apps = splitCommas(value);
         } else if (parseArg(argc, argv, i, "--inputs", &value)) {
-            opts.inputs = splitCommas(value);
+            spec.inputs = splitCommas(value);
         } else if (parseArg(argc, argv, i, "--threads", &value)) {
-            opts.threads.clear();
+            spec.threads.clear();
             for (const auto &t : splitCommas(value))
-                opts.threads.push_back(
+                spec.threads.push_back(
                     static_cast<uint32_t>(std::stoul(t)));
         } else if (parseArg(argc, argv, i, "--uarch", &value)) {
-            opts.uarchs = splitCommas(value);
+            spec.uarchs = splitCommas(value);
         } else if (parseArg(argc, argv, i, "--out", &value)) {
-            opts.outDir = value;
+            spec.outDir = value;
         } else if (parseArg(argc, argv, i, "--store", &value)) {
-            opts.storeDir = value;
+            spec.storeDir = value;
         } else if (parseArg(argc, argv, i, "--jobs", &value)) {
-            opts.jobs = static_cast<uint32_t>(std::stoul(value));
+            spec.jobs = static_cast<uint32_t>(std::stoul(value));
         } else if (parseArg(argc, argv, i, "--backend", &value)) {
-            opts.backend = value;
+            spec.backend = value;
         } else if (parseArg(argc, argv, i, "--wait-policy", &value)) {
-            opts.waitPolicy = value;
+            spec.waitPolicy = value;
         } else if (parseArg(argc, argv, i, "--seed", &value)) {
-            opts.seed = std::stoull(value);
+            spec.seed = std::stoull(value);
         } else if (arg == "--no-fullsim") {
-            opts.fullSim = false;
+            spec.fullSim = false;
         } else if (arg == "--audit") {
-            opts.audit = true;
+            spec.audit = true;
+        } else if (parseArg(argc, argv, i, "--job-retries", &value)) {
+            sup.jobRetries = static_cast<uint32_t>(std::stoul(value));
+        } else if (parseArg(argc, argv, i, "--job-timeout", &value)) {
+            sup.jobTimeoutSeconds = std::stod(value);
+        } else if (parseArg(argc, argv, i, "--kill-grace", &value)) {
+            sup.killGraceSeconds = std::stod(value);
+        } else if (parseArg(argc, argv, i, "--backoff-base", &value)) {
+            sup.backoff.baseSeconds = std::stod(value);
+        } else if (parseArg(argc, argv, i, "--backoff-cap", &value)) {
+            sup.backoff.capSeconds = std::stod(value);
+        } else if (parseArg(argc, argv, i, "--gc-watermark", &value)) {
+            sup.gcWatermarkBytes = std::stoull(value);
+        } else if (parseArg(argc, argv, i, "--gc-floor", &value)) {
+            sup.gcFloorBytes = std::stoull(value);
+        } else if (parseArg(argc, argv, i, "--gc-target", &value)) {
+            sup.gcTargetBytes = std::stoull(value);
+        } else if (arg == "--daemon") {
+            sup.daemonMode = true;
+        } else if (parseArg(argc, argv, i, "--rescan", &value)) {
+            sup.rescanSeconds = std::stod(value);
+        } else if (parseArg(argc, argv, i, "--inject-fault", &value)) {
+            sup.faults = FaultPlan::parse(value);
         } else {
             logError("unknown option '%s'", arg.c_str());
             usage();
             std::exit(2);
         }
     }
-    if (opts.outDir.empty())
-        fatal("--out=DIR is required");
-    if (opts.storeDir.empty())
-        opts.storeDir = opts.outDir + "/store";
-    if (opts.backend != "pool" && opts.backend != "procs")
-        fatal("backend must be 'pool' or 'procs'");
-    if (opts.waitPolicy != "passive" && opts.waitPolicy != "active")
-        fatal("wait policy must be 'passive' or 'active'");
-    // Validate every matrix axis up front: a bad name anywhere is a
-    // usage error before any job runs.
-    for (const auto &p : opts.apps)
-        resolveArtifactProgram(p);
-    for (const auto &ic : opts.inputs)
-        resolveInputClass(ic);
-    for (const auto &u : opts.uarchs) {
-        SimConfig scratch;
-        applyUarchPreset(scratch, u);
-    }
+    if (spec.storeDir.empty() && !spec.outDir.empty())
+        spec.storeDir = spec.outDir + "/store";
+    validateCampaignSpec(spec);
+    // Only job-site clauses make sense here: sim/corrupt faults fire
+    // inside the pipeline, which jobs reach via run_looppoint-style
+    // configs, not this driver.
+    for (const auto &f : sup.faults.specs())
+        if (f.site != FaultSpec::Site::Job)
+            fatal("lp_campaign --inject-fault accepts job: clauses "
+                  "only (sim:/corrupt: fire inside the pipeline)");
     return opts;
-}
-
-void
-makeDir(const std::string &path)
-{
-    if (mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
-        fatal("cannot create directory '%s': %s", path.c_str(),
-              strerror(errno));
-}
-
-/** One expanded sweep point. */
-struct Job
-{
-    std::string id;      ///< <prog>-<input>-t<T>-<uarch>
-    std::string program; ///< artifact-style name
-    std::string input;
-    uint32_t threads = 0;
-    std::string uarch;
-    /** done | running | ok | degraded (set as the campaign runs). */
-    std::string status;
-    double wallSeconds = 0.0;
-};
-
-std::string
-fmtDouble(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-void
-writeResultJson(const std::string &path, const Job &job,
-                const ExperimentResult &r, const CampaignOptions &opts)
-{
-    size_t errors = 0, warnings = 0;
-    for (const auto &d : r.analysis.diagnostics) {
-        errors += d.severity == Severity::Error;
-        warnings += d.severity == Severity::Warning;
-    }
-    std::ostringstream os;
-    os << "{\n"
-       << "  \"kind\": \"lp_campaign_job\",\n"
-       << "  \"job\": " << jsonQuote(job.id) << ",\n"
-       << "  \"program\": " << jsonQuote(job.program) << ",\n"
-       << "  \"app\": " << jsonQuote(r.app) << ",\n"
-       << "  \"input\": " << jsonQuote(job.input) << ",\n"
-       << "  \"threads\": " << r.threads << ",\n"
-       << "  \"uarch\": " << jsonQuote(job.uarch) << ",\n"
-       << "  \"backend\": " << jsonQuote(opts.backend) << ",\n"
-       << "  \"chosenK\": " << r.analysis.chosenK << ",\n"
-       << "  \"regions\": " << r.analysis.regions.size() << ",\n"
-       << "  \"coverage\": " << fmtDouble(r.coverage) << ",\n"
-       << "  \"predictedRuntime\": "
-       << fmtDouble(r.predicted.runtimeSeconds) << ",\n"
-       << "  \"fullsimRuntime\": "
-       << fmtDouble(r.haveFullSim ? r.fullSim.runtimeSeconds : 0.0)
-       << ",\n"
-       << "  \"runtimeErrorPct\": " << fmtDouble(r.runtimeErrorPct)
-       << ",\n"
-       << "  \"stageHits\": {\"record\": "
-       << (r.analysis.stageHashes.recordHit ? "true" : "false")
-       << ", \"profile\": "
-       << (r.analysis.stageHashes.profileHit ? "true" : "false")
-       << ", \"cluster\": "
-       << (r.analysis.stageHashes.clusterHit ? "true" : "false")
-       << ", \"sim\": " << (r.simStageHit ? "true" : "false")
-       << ", \"fullsim\": " << (r.fullSimHit ? "true" : "false")
-       << "},\n"
-       << "  \"store\": {\"hits\": " << r.storeStats.hits
-       << ", \"misses\": " << r.storeStats.misses
-       << ", \"publishes\": " << r.storeStats.publishes
-       << ", \"corrupt\": " << r.storeStats.corruptEntries
-       << ", \"bytesStored\": " << r.storeStats.bytesStored
-       << ", \"bytesDeduped\": " << r.storeStats.bytesDeduped
-       << ", \"bytesRead\": " << r.storeStats.bytesRead << "},\n"
-       << "  \"analysis\": {\"findings\": "
-       << r.analysis.diagnostics.size() << ", \"errors\": " << errors
-       << ", \"warnings\": " << warnings
-       << ", \"auditFindings\": " << r.auditFindings << "},\n"
-       << "  \"wallSeconds\": " << fmtDouble(job.wallSeconds) << "\n"
-       << "}\n";
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream f(tmp);
-        if (!f)
-            fatal("cannot write '%s'", tmp.c_str());
-        f << os.str();
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        fatal("cannot publish '%s': %s", path.c_str(),
-              strerror(errno));
-}
-
-int
-runJob(Job &job, const std::string &job_dir,
-       const CampaignOptions &opts)
-{
-    ExperimentConfig cfg;
-    cfg.app = resolveArtifactProgram(job.program);
-    cfg.input = resolveInputClass(job.input);
-    cfg.requestedThreads = job.threads;
-    cfg.waitPolicy = opts.waitPolicy == "active" ? WaitPolicy::Active
-                                                 : WaitPolicy::Passive;
-    cfg.jobs = opts.jobs;
-    cfg.simulateFull = opts.fullSim;
-    cfg.loopPoint.seed = opts.seed;
-    applyUarchPreset(cfg.sim, job.uarch);
-    cfg.sim.backend = opts.backend == "procs" ? ExecBackendKind::Procs
-                                              : ExecBackendKind::Pool;
-    cfg.storeDir = opts.storeDir;
-    if (cfg.input == InputClass::Test)
-        cfg.loopPoint.sliceSizePerThread = 25'000;
-
-    auto t0 = std::chrono::steady_clock::now();
-    ExperimentResult r = runExperiment(cfg);
-    if (opts.audit)
-        auditExperiment(cfg, r);
-    job.wallSeconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    job.status = r.coverage < 1.0 ? "degraded" : "ok";
-
-    writeResultJson(job_dir + "/result.json", job, r, opts);
-    std::ofstream done(job_dir + "/.done");
-    done << job.status << "\n";
-    return r.coverage < 1.0 ? 1 : 0;
-}
-
-void
-writeCampaignJson(const std::string &path, const CampaignOptions &opts,
-                  const std::vector<Job> &jobs)
-{
-    size_t ran = 0, done = 0, running = 0, degraded = 0;
-    for (const auto &j : jobs) {
-        if (j.status == "ok")
-            ++ran;
-        else if (j.status == "done")
-            ++done;
-        else if (j.status == "running")
-            ++running;
-        else if (j.status == "degraded")
-            ++degraded;
-    }
-    std::ostringstream os;
-    os << "{\n"
-       << "  \"kind\": \"lp_campaign\",\n"
-       << "  \"store\": " << jsonQuote(opts.storeDir) << ",\n"
-       << "  \"backend\": " << jsonQuote(opts.backend) << ",\n"
-       << "  \"jobsTotal\": " << jobs.size() << ",\n"
-       << "  \"jobsRan\": " << ran << ",\n"
-       << "  \"jobsSkippedDone\": " << done << ",\n"
-       << "  \"jobsSkippedRunning\": " << running << ",\n"
-       << "  \"jobsDegraded\": " << degraded << ",\n"
-       << "  \"jobs\": [\n";
-    for (size_t i = 0; i < jobs.size(); ++i)
-        os << "    {\"job\": " << jsonQuote(jobs[i].id)
-           << ", \"status\": " << jsonQuote(jobs[i].status)
-           << ", \"wallSeconds\": " << fmtDouble(jobs[i].wallSeconds)
-           << "}" << (i + 1 < jobs.size() ? "," : "") << "\n";
-    os << "  ]\n}\n";
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream f(tmp);
-        if (!f)
-            fatal("cannot write '%s'", tmp.c_str());
-        f << os.str();
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        fatal("cannot publish '%s': %s", path.c_str(),
-              strerror(errno));
-}
-
-int
-runCampaign(const CampaignOptions &opts)
-{
-    makeDir(opts.outDir);
-
-    // Expansion order is the incremental-reuse order: all uarch points
-    // of one (app, input, threads) triple are adjacent, so after the
-    // first the analysis stages are store hits.
-    std::vector<Job> jobs;
-    for (const auto &prog : opts.apps)
-        for (const auto &input : opts.inputs)
-            for (uint32_t threads : opts.threads)
-                for (const auto &uarch : opts.uarchs) {
-                    Job j;
-                    j.program = prog;
-                    j.input = input;
-                    j.threads = threads;
-                    j.uarch = uarch;
-                    j.id = prog + "-" + input + "-t" +
-                           std::to_string(threads) + "-" + uarch;
-                    jobs.push_back(std::move(j));
-                }
-
-    int rc = 0;
-    for (auto &job : jobs) {
-        const std::string job_dir = opts.outDir + "/" + job.id;
-        makeDir(job_dir);
-
-        struct stat st;
-        if (stat((job_dir + "/.done").c_str(), &st) == 0) {
-            job.status = "done";
-            std::printf("[skip] %-44s already done\n", job.id.c_str());
-            continue;
-        }
-
-        // Skip-running: the lock dies with its holder, so a crashed
-        // job never wedges the campaign — the next invocation reruns
-        // it (and the store makes the rerun cheap).
-        int lock_fd = open((job_dir + "/.lock").c_str(),
-                           O_CREAT | O_RDWR | O_CLOEXEC, 0666);
-        if (lock_fd < 0)
-            fatal("cannot open '%s/.lock': %s", job_dir.c_str(),
-                  strerror(errno));
-        if (flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
-            close(lock_fd);
-            job.status = "running";
-            std::printf("[skip] %-44s running elsewhere\n",
-                        job.id.c_str());
-            continue;
-        }
-
-        std::printf("[run ] %s\n", job.id.c_str());
-        std::fflush(stdout);
-        rc = std::max(rc, runJob(job, job_dir, opts));
-        std::printf("[%s] %-44s %.3f s\n",
-                    job.status == "ok" ? " ok " : "DEGR",
-                    job.id.c_str(), job.wallSeconds);
-
-        flock(lock_fd, LOCK_UN);
-        close(lock_fd);
-    }
-
-    writeCampaignJson(opts.outDir + "/campaign.json", opts, jobs);
-    std::printf("campaign: %zu job(s), summary %s/campaign.json, "
-                "store %s\n",
-                jobs.size(), opts.outDir.c_str(),
-                opts.storeDir.c_str());
-    return rc;
 }
 
 } // namespace
@@ -445,7 +229,7 @@ runCampaign(const CampaignOptions &opts)
 int
 main(int argc, char **argv)
 {
-    CampaignOptions opts;
+    CliOptions opts;
     try {
         opts = parseCli(argc, argv);
     } catch (const std::exception &e) {
@@ -453,7 +237,20 @@ main(int argc, char **argv)
         return 2;
     }
     try {
-        return runCampaign(opts);
+        CampaignSupervisor sup(opts.spec, opts.sup);
+        SupervisorResult res = sup.run();
+        std::printf("campaign: %zu job(s), %u launch(es), %u "
+                    "retry(ies), %u timeout(s), %u adopted, summary "
+                    "%s/campaign.json, store %s\n",
+                    res.jobs.size(), res.launches, res.retries,
+                    res.timeouts, res.adopted,
+                    opts.spec.outDir.c_str(),
+                    opts.spec.storeDir.c_str());
+        if (res.interrupted)
+            warn("campaign interrupted; re-invoke the same command "
+                 "to resume (completed jobs are adopted from the "
+                 "journal)");
+        return res.exitCode;
     } catch (const FatalError &e) {
         logError("lp_campaign: %s", e.what());
         return 3;

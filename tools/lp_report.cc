@@ -502,6 +502,58 @@ reportMetrics(const Options &opt)
 }
 
 /**
+ * Render the supervisor's live surface (status.json) when present:
+ * supervisor state, retry/timeout/GC accounting, and the per-job
+ * attempt/backoff table. Best-effort — a missing or torn file (the
+ * supervisor rewrites it atomically, so torn means "not a campaign
+ * with a supervisor") just skips the section.
+ */
+void
+reportCampaignStatus(const Options &opt)
+{
+    std::string text;
+    if (!loadFile(opt.campaignDir + "/status.json", text))
+        return;
+    auto doc = parseJson(text);
+    if (!doc || doc->stringOr("kind", "") != "lp_campaign_status")
+        return;
+
+    std::printf("== supervisor (%s) ==\n",
+                doc->stringOr("state", "?").c_str());
+    std::printf("pid %.0f, pass %.0f: %.0f/%.0f job(s) done, %.0f "
+                "failed, %.0f pending\n",
+                doc->numberOr("pid", 0), doc->numberOr("pass", 0),
+                doc->numberOr("jobsDone", 0),
+                doc->numberOr("jobsTotal", 0),
+                doc->numberOr("jobsFailed", 0),
+                doc->numberOr("jobsPending", 0));
+    std::printf("supervision    : %.0f launch(es), %.0f retry(ies), "
+                "%.0f timeout(s), %.0f gc run(s), %.0f adopted from "
+                "journal, %.0f stale result(s)\n",
+                doc->numberOr("launches", 0),
+                doc->numberOr("retries", 0),
+                doc->numberOr("timeouts", 0),
+                doc->numberOr("gcRuns", 0),
+                doc->numberOr("adopted", 0),
+                doc->numberOr("staleResults", 0));
+    std::printf("free disk      : %.0f byte(s) under the store\n",
+                doc->numberOr("freeDiskBytes", 0));
+    const JsonValue *jobs = doc->find("jobs");
+    if (jobs && jobs->isArray() && !jobs->array.empty()) {
+        std::printf("%-44s %-9s %8s %10s %8s\n", "job", "status",
+                    "attempts", "backoff s", "wall s");
+        for (const auto &j : jobs->array)
+            std::printf("%-44s %-9s %8.0f %10.3f %8.3f\n",
+                        j.stringOr("job", "?").c_str(),
+                        j.stringOr("status", "?").c_str(),
+                        j.numberOr("attempts", 0),
+                        j.numberOr("backoffSeconds", 0),
+                        j.numberOr("wallSeconds", 0));
+    }
+    std::printf("\n");
+}
+
+/**
  * Aggregate an lp_campaign directory: one row per job result, then
  * campaign-wide store economics (hit rate, bytes deduplicated — the
  * "never recompute twice" dividend).
@@ -509,6 +561,7 @@ reportMetrics(const Options &opt)
 int
 reportCampaign(const Options &opt)
 {
+    reportCampaignStatus(opt);
     DIR *dir = opendir(opt.campaignDir.c_str());
     if (!dir) {
         logError("cannot open campaign directory '%s'",

@@ -30,6 +30,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/fault.hh"
+#include "util/interrupt.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -162,6 +163,11 @@ usage()
         "  1  completed degraded (regions dropped, coverage < 1.0) or\n"
         "     analysis findings with error severity\n"
         "  2  usage error (bad flag or argument)\n"
+        "  4  interrupted: SIGTERM/SIGINT (or an injected\n"
+        "     kind=interrupt fault) parked the run at the next region\n"
+        "     boundary; completed regions are already journaled, so a\n"
+        "     rerun with --resume continues bit-identically. A third\n"
+        "     signal skips the graceful stop and dies immediately\n"
         "  3  runtime failure: I/O error, corrupt artifact or journal,\n"
         "     or (injected) crash. Note the backends differ on a\n"
         "     worker crash by design: under --backend=pool a (real or\n"
@@ -414,13 +420,15 @@ runOne(const std::string &program, const CliOptions &cli)
                     cfg.journalPath.c_str(), r.journalHits);
     if (!cfg.storeDir.empty())
         std::printf("store          : %llu hit(s), %llu miss(es), "
-                    "%llu publish(es), %llu corrupt, regions %s, "
-                    "fullsim %s\n",
+                    "%llu publish(es), %llu failed, %llu corrupt, "
+                    "regions %s, fullsim %s\n",
                     static_cast<unsigned long long>(r.storeStats.hits),
                     static_cast<unsigned long long>(
                         r.storeStats.misses),
                     static_cast<unsigned long long>(
                         r.storeStats.publishes),
+                    static_cast<unsigned long long>(
+                        r.storeStats.failedPublishes),
                     static_cast<unsigned long long>(
                         r.storeStats.corruptEntries),
                     r.simStageHit ? "cached" : "simulated",
@@ -533,7 +541,8 @@ int
 main(int argc, char **argv)
 {
     // Exit-code contract (documented in --help): 0 success, 1
-    // degraded/findings, 2 usage, 3 runtime failure.
+    // degraded/findings, 2 usage, 3 runtime failure, 4 interrupted at
+    // a region boundary (resume-able).
     CliOptions cli;
     try {
         cli = parseCli(argc, argv);
@@ -541,6 +550,7 @@ main(int argc, char **argv)
         logError("run_looppoint: %s", e.what());
         return 2;
     }
+    installInterruptHandlers();
     int rc = 0;
     try {
         for (const auto &program : cli.programs)
@@ -550,6 +560,15 @@ main(int argc, char **argv)
         // trace/metrics files behind.
         logError("run_looppoint: %s", e.what());
         return 3;
+    } catch (const InterruptedRun &e) {
+        // Graceful stop at a region boundary: the run journal already
+        // holds every completed region, so the supervisor (or user)
+        // can rerun with --resume for a bit-identical continuation.
+        // Flush obs outputs first — a parked daemon job should still
+        // leave its trace behind.
+        warn("run_looppoint: %s", e.what());
+        writeObsOutputs(cli);
+        return 4;
     } catch (const FatalError &e) {
         logError("run_looppoint: %s", e.what());
         return 3;
